@@ -1,0 +1,144 @@
+package plasma
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/pagerank"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/graph"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Ablation benchmarks isolate the design choices DESIGN.md calls out:
+// which graph partitioner feeds PageRank, whether the placement-stability
+// rule (§4.3) is enforced, and whether balance outranks colocate (§4.3's
+// priority example).
+
+// pagerankRun deploys the fig6a-style setup with a chosen partitioner and
+// EMR config, returning converged time and migration count.
+func pagerankRun(seed int64, partitioner string, cfg emr.Config, elastic bool) (sim.Duration, int) {
+	k := sim.New(seed)
+	c := cluster.New(k, 8, cluster.M5Large)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	g := graph.GeneratePowerLaw(12000, 10, 2.1, seed)
+	var parts []int
+	switch partitioner {
+	case "multilevel":
+		parts = graph.PartitionMultilevel(g, 32, seed)
+	case "ldg":
+		parts = graph.PartitionLDG(g, 32)
+	case "hash":
+		parts = graph.PartitionHash(g, 32)
+	}
+	perm := sim.New(seed*7 + 1).Rand().Perm(32)
+	placement := make([]cluster.MachineID, 32)
+	for i, p := range perm {
+		placement[p] = cluster.MachineID(i % 8)
+	}
+	app := pagerank.Build(k, rt, pagerank.Config{
+		Graph: g, Parts: parts, K: 32,
+		PerEdgeCost: 55 * sim.Microsecond, SyncOverhead: 12 * sim.Millisecond,
+		HeteroSpread: 0.5, Iterations: 120,
+	}, placement)
+	migs := 0
+	if elastic {
+		mgr := emr.New(k, c, rt, prof, epl.MustParse(pagerank.PolicySrc), cfg)
+		mgr.Start()
+		app.Start(k)
+		for !app.Done && k.Step() {
+		}
+		migs = mgr.Stats.ExecutedMigrations
+		return app.ConvergedTime(), migs
+	}
+	app.Start(k)
+	for !app.Done && k.Step() {
+	}
+	return app.ConvergedTime(), migs
+}
+
+// BenchmarkAblationPartitioner compares PageRank converged time across
+// partitioners, with PLASMA balancing on: better initial cuts leave less
+// work for the elasticity runtime.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for _, part := range []string{"multilevel", "ldg", "hash"} {
+		part := part
+		b.Run(part, func(b *testing.B) {
+			var sumMS, sumCut float64
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+				d, _ := pagerankRun(seed, part, emr.Config{Period: 500 * sim.Millisecond}, true)
+				g := graph.GeneratePowerLaw(12000, 10, 2.1, seed)
+				var parts []int
+				switch part {
+				case "multilevel":
+					parts = graph.PartitionMultilevel(g, 32, seed)
+				case "ldg":
+					parts = graph.PartitionLDG(g, 32)
+				case "hash":
+					parts = graph.PartitionHash(g, 32)
+				}
+				sumCut += float64(graph.EdgeCut(g, parts))
+				sumMS += float64(d) / float64(sim.Millisecond)
+			}
+			b.ReportMetric(sumMS/float64(b.N), "converged_ms")
+			b.ReportMetric(sumCut/float64(b.N), "edge_cut")
+		})
+	}
+}
+
+// BenchmarkAblationStability compares the §4.3 placement-stability rule
+// (min residence = one elasticity period) against no stability: without
+// it, actors may thrash between servers every period.
+func BenchmarkAblationStability(b *testing.B) {
+	cases := []struct {
+		name string
+		res  sim.Duration
+	}{
+		{"minResidence=period", 0}, // 0 defaults to the period
+		{"minResidence=1ms", sim.Millisecond},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var sumMS, sumMigs float64
+			for i := 0; i < b.N; i++ {
+				d, migs := pagerankRun(int64(i+1), "multilevel",
+					emr.Config{Period: 500 * sim.Millisecond, MinResidence: c.res}, true)
+				sumMS += float64(d) / float64(sim.Millisecond)
+				sumMigs += float64(migs)
+			}
+			b.ReportMetric(sumMS/float64(b.N), "converged_ms")
+			b.ReportMetric(sumMigs/float64(b.N), "migrations")
+		})
+	}
+}
+
+// BenchmarkAblationPriority inverts the §4.3 priority example (colocate
+// above balance) on the PageRank balance workload combined with a colocate
+// rule, measuring how often conflicting actions had to be resolved.
+func BenchmarkAblationPriority(b *testing.B) {
+	policies := map[string]map[epl.BehaviorKind]int{
+		"balance>colocate": nil, // defaults
+		"colocate>balance": {
+			epl.KindColocate: 50,
+			epl.KindBalance:  40,
+		},
+	}
+	for _, name := range []string{"balance>colocate", "colocate>balance"} {
+		pri := policies[name]
+		b.Run(name, func(b *testing.B) {
+			var sumMS float64
+			for i := 0; i < b.N; i++ {
+				d, _ := pagerankRun(int64(i+1), "multilevel",
+					emr.Config{Period: 500 * sim.Millisecond, Priorities: pri}, true)
+				sumMS += float64(d) / float64(sim.Millisecond)
+			}
+			b.ReportMetric(sumMS/float64(b.N), "converged_ms")
+		})
+	}
+}

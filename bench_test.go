@@ -1,0 +1,95 @@
+package plasma
+
+import (
+	"testing"
+
+	"plasma/internal/experiments"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures on the
+// simulated cluster and reports its headline metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` reprints the whole evaluation. The runs are
+// deterministic per seed; vary the seed across iterations so means are
+// meaningful.
+
+func benchExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	sums := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range metricKeys {
+			sums[k] += res.Summary[k]
+		}
+	}
+	for _, k := range metricKeys {
+		b.ReportMetric(sums[k]/float64(b.N), k)
+	}
+}
+
+// BenchmarkTable1Apps compiles every application policy (Table 1).
+func BenchmarkTable1Apps(b *testing.B) {
+	benchExperiment(b, "table1", "apps", "total_rules")
+}
+
+// BenchmarkTable3Overhead measures the EPR profiling overhead (Table 3).
+func BenchmarkTable3Overhead(b *testing.B) {
+	benchExperiment(b, "table3", "worst_overhead")
+}
+
+// BenchmarkFig5Metadata compares reserve+colocate vs def-rule vs none.
+func BenchmarkFig5Metadata(b *testing.B) {
+	benchExperiment(b, "fig5", "rescol_vs_norule_reduction", "defrule_vs_norule_reduction")
+}
+
+// BenchmarkFig6aPageRank compares PLASMA vs Orleans balancing.
+func BenchmarkFig6aPageRank(b *testing.B) {
+	benchExperiment(b, "fig6a", "plasma_improvement_pct")
+}
+
+// BenchmarkFig6bProvision compares dynamic allocation vs conservative.
+func BenchmarkFig6bProvision(b *testing.B) {
+	benchExperiment(b, "fig6b", "servers_plasma", "resource_saving_pct")
+}
+
+// BenchmarkFig7aMizan compares elasticity gains: PLASMA vs Mizan.
+func BenchmarkFig7aMizan(b *testing.B) {
+	benchExperiment(b, "fig7a", "gain_pct_plasma", "gain_pct_mizan")
+}
+
+// BenchmarkFig7bcTraces traces per-server CPU% and actor distributions.
+func BenchmarkFig7bcTraces(b *testing.B) {
+	benchExperiment(b, "fig7bc", "cpu_imbalance_first", "cpu_imbalance_last", "migrations")
+}
+
+// BenchmarkFig8Dynamic traces scale-out from one server.
+func BenchmarkFig8Dynamic(b *testing.B) {
+	benchExperiment(b, "fig8", "speedup", "final_servers")
+}
+
+// BenchmarkFig9EStore compares PLASMA rules vs in-app E-Store elasticity.
+func BenchmarkFig9EStore(b *testing.B) {
+	benchExperiment(b, "fig9", "tail_ms_plasma", "tail_ms_in-app", "tail_ms_none")
+}
+
+// BenchmarkFig10Media sweeps elasticity periods on the Media Service.
+func BenchmarkFig10Media(b *testing.B) {
+	benchExperiment(b, "fig10", "mean_latency_ms_20s", "mean_latency_ms_60s", "peak_servers_20s")
+}
+
+// BenchmarkFig11aHalo compares the interaction rule vs the default rule.
+func BenchmarkFig11aHalo(b *testing.B) {
+	benchExperiment(b, "fig11a", "mean_ms_inter-rule", "mean_ms_def-rule")
+}
+
+// BenchmarkFig11bHaloClients measures per-client misplacement penalties.
+func BenchmarkFig11bHaloClients(b *testing.B) {
+	benchExperiment(b, "fig11b", "misplaced_early_over_late")
+}
+
+// BenchmarkFig11cGEMs sweeps the number of GEMs on the Halo router balance.
+func BenchmarkFig11cGEMs(b *testing.B) {
+	benchExperiment(b, "fig11c", "peak_ms_1gem", "final_ms_1gem", "final_ms_4gem")
+}

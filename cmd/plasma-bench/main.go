@@ -1,0 +1,49 @@
+// Command plasma-bench runs the full evaluation sweep (every table and
+// figure of §5) and emits an EXPERIMENTS.md-style report with the paper's
+// claims next to the measured results.
+//
+// Usage:
+//
+//	plasma-bench [-full] [-seed N] > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"plasma/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale workloads (slower)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	fmt.Println("# PLASMA evaluation sweep")
+	fmt.Println()
+	mode := "quick"
+	if *full {
+		mode = "full (paper-scale)"
+	}
+	fmt.Printf("Mode: %s, seed %d. Virtual-time simulation; compare shapes, not absolute numbers.\n\n", mode, *seed)
+
+	for _, id := range experiments.IDs() {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s — %s\n\n```\n%s```\n\n", res.ID, res.Title, res.Render())
+		if len(res.Series) > 0 {
+			names := make([]string, 0, len(res.Series))
+			for n := range res.Series {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Printf("Series available: %v\n\n", names)
+		}
+	}
+}

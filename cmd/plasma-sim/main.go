@@ -1,0 +1,37 @@
+// Command plasma-sim runs PLASMA's evaluation experiments by id and prints
+// their tables and summaries.
+//
+// Usage:
+//
+//	plasma-sim [-full] [-seed N] [experiment ...]
+//
+// With no arguments, all experiments run in registry order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plasma/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale workloads (slower)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(res.Render())
+	}
+}

@@ -1,0 +1,123 @@
+// Command plasmac is PLASMA's elasticity-rule compiler (the "PLASMA
+// compiler" of Fig. 2): it parses an EPL policy, checks it against an
+// optional application schema, reports conflict warnings, and emits the
+// compiled elasticity configuration as JSON.
+//
+// Usage:
+//
+//	plasmac [-schema app.json] policy.epl
+//	plasmac -e 'server.cpu.perc > 80 => balance({Worker}, cpu);'
+//
+// The schema file declares actor classes:
+//
+//	{"actors": [{"name": "Folder", "functions": ["open"], "props": ["files"]}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"plasma/internal/epl"
+)
+
+type schemaFile struct {
+	Actors []struct {
+		Name      string   `json:"name"`
+		Functions []string `json:"functions"`
+		Props     []string `json:"props"`
+	} `json:"actors"`
+}
+
+// ruleJSON is the compiled form of one rule.
+type ruleJSON struct {
+	Index       int      `json:"index"`
+	Condition   string   `json:"condition"`
+	Behaviors   []string `json:"behaviors"`
+	Class       string   `json:"class"`
+	Variables   []string `json:"variables,omitempty"`
+	ResourceFor []string `json:"resourceRuleFor,omitempty"`
+}
+
+func main() {
+	expr := flag.String("e", "", "inline policy source instead of a file")
+	schemaPath := flag.String("schema", "", "application schema JSON for checking")
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: plasmac [-schema app.json] policy.epl  |  plasmac -e '<rules>'")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	var schema *epl.Schema
+	if *schemaPath != "" {
+		data, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var sf schemaFile
+		if err := json.Unmarshal(data, &sf); err != nil {
+			fmt.Fprintf(os.Stderr, "plasmac: bad schema: %v\n", err)
+			os.Exit(1)
+		}
+		var classes []*epl.ActorSchema
+		for _, a := range sf.Actors {
+			classes = append(classes, epl.Class(a.Name, a.Functions, a.Props))
+		}
+		schema = epl.NewSchema(classes...)
+	}
+
+	pol, err := epl.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	warns, err := epl.Check(pol, schema)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, w)
+	}
+
+	out := struct {
+		Rules    []ruleJSON `json:"rules"`
+		Warnings int        `json:"warnings"`
+	}{Warnings: len(warns)}
+	for _, r := range pol.Rules {
+		rj := ruleJSON{Index: r.Index, Condition: r.Cond.String()}
+		for _, b := range r.Behaviors {
+			rj.Behaviors = append(rj.Behaviors, b.String())
+		}
+		switch {
+		case r.HasResourceBehavior() && r.HasInteractionBehavior():
+			rj.Class = "resource+interaction"
+		case r.HasResourceBehavior():
+			rj.Class = "resource"
+		default:
+			rj.Class = "interaction"
+		}
+		for _, v := range r.Vars {
+			rj.Variables = append(rj.Variables, fmt.Sprintf("%s:%s", v.Name, v.Type))
+		}
+		out.Rules = append(out.Rules, rj)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module plasma
+
+go 1.22

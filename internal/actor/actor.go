@@ -1,0 +1,627 @@
+// Package actor implements the actor runtime PLASMA manages: typed actors
+// with mailboxes, asynchronous messaging with request/reply, reference
+// properties (the `ref(a.prop)` feature of the EPL), live migration, and
+// hooks for the elasticity profiling runtime and for rule-driven placement
+// of new actors.
+//
+// The runtime executes on the discrete-event simulator: application handlers
+// run real Go code and declare virtual CPU cost via Context.Use; the hosting
+// machine's cores are occupied for that long, producing the CPU, memory, and
+// network signals the paper's elasticity rules react to.
+package actor
+
+import (
+	"fmt"
+	"sort"
+
+	"plasma/internal/cluster"
+	"plasma/internal/sim"
+)
+
+// ID uniquely identifies an actor within a Runtime. The zero ID is invalid.
+type ID uint64
+
+// Ref is a location-transparent handle to an actor.
+type Ref struct{ ID ID }
+
+// Zero reports whether the ref is the invalid zero reference.
+func (r Ref) Zero() bool { return r.ID == 0 }
+
+func (r Ref) String() string { return fmt.Sprintf("actor#%d", r.ID) }
+
+// ClientCaller is the caller type the EPL's `client` keyword matches.
+const ClientCaller = "client"
+
+// Message is one delivered actor message.
+type Message struct {
+	Method     string
+	Arg        interface{}
+	Size       int64  // payload bytes, for network and profiling accounting
+	Sender     Ref    // zero when sent by a client
+	SenderType string // actor type name, or ClientCaller
+
+	reply *replyPath
+}
+
+// replyPath routes a reply back to the original requester across any number
+// of Forward hops.
+type replyPath struct {
+	originSrv cluster.MachineID
+	deliver   func(arg interface{}, size int64)
+}
+
+// Behavior is application logic for one actor. Receive runs when a message
+// is dispatched; it should declare its CPU cost via ctx.Use. Outgoing
+// effects (sends, replies, spawns) buffered during Receive take effect when
+// the declared cost has elapsed on the hosting machine.
+type Behavior interface {
+	Receive(ctx *Context, msg Message)
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(ctx *Context, msg Message)
+
+// Receive calls f.
+func (f BehaviorFunc) Receive(ctx *Context, msg Message) { f(ctx, msg) }
+
+// ProfilerHook observes runtime events for the elasticity profiling runtime.
+type ProfilerHook interface {
+	// OnMessage fires when a message is dispatched to an actor. caller is
+	// the sending actor (zero for client senders).
+	OnMessage(srv cluster.MachineID, callerType string, caller Ref, callee Ref, calleeType, method string, size int64)
+	// OnCPU fires when an actor finishes consuming CPU for one message.
+	OnCPU(srv cluster.MachineID, a Ref, typ string, cost sim.Duration)
+	// OnNet fires when an actor sends size bytes off-machine.
+	OnNet(srv cluster.MachineID, a Ref, typ string, size int64)
+}
+
+// PlacementHook decides where newly created actors go (§4.2 "New actor
+// creation"). Returning a negative machine ID falls back to random placement.
+type PlacementHook interface {
+	Place(typ string, creator Ref, creatorSrv cluster.MachineID) cluster.MachineID
+}
+
+type delivery struct {
+	msg Message
+}
+
+type instance struct {
+	id       ID
+	typ      string
+	behavior Behavior
+	srv      cluster.MachineID
+
+	mailbox   []delivery
+	busy      bool // currently processing a message
+	migrating bool
+
+	props    map[string][]Ref
+	memSize  int64
+	pinned   bool
+	lastMove sim.Time
+
+	pendingDst cluster.MachineID // -1 when no migration requested
+	pendingFn  func(ok bool)
+	dead       bool
+}
+
+// Runtime hosts actors across a cluster.
+type Runtime struct {
+	K *sim.Kernel
+	C *cluster.Cluster
+
+	// BaseMsgCost is charged per dispatched message to model runtime
+	// dispatch overhead.
+	BaseMsgCost sim.Duration
+	// ProfilingCost is the additional per-message CPU charge when a
+	// profiler hook is attached (Table 3 measures this overhead).
+	ProfilingCost sim.Duration
+	// SerializeCost converts actor state bytes to CPU time for migration
+	// (cost = SerializeCost per MB, on each side).
+	SerializePerMB sim.Duration
+
+	profiler  ProfilerHook
+	placement PlacementHook
+
+	nextID     ID
+	actors     map[ID]*instance
+	migrations int
+}
+
+// NewRuntime creates a runtime over the given cluster.
+func NewRuntime(k *sim.Kernel, c *cluster.Cluster) *Runtime {
+	return &Runtime{
+		K:              k,
+		C:              c,
+		BaseMsgCost:    20 * sim.Microsecond,
+		ProfilingCost:  2 * sim.Microsecond,
+		SerializePerMB: 5 * sim.Millisecond,
+		actors:         make(map[ID]*instance),
+	}
+}
+
+// SetProfiler attaches (or detaches, with nil) the profiling hook.
+func (rt *Runtime) SetProfiler(p ProfilerHook) { rt.profiler = p }
+
+// SetPlacement attaches (or detaches, with nil) the placement hook.
+func (rt *Runtime) SetPlacement(p PlacementHook) { rt.placement = p }
+
+// Migrations reports the total number of completed migrations.
+func (rt *Runtime) Migrations() int { return rt.migrations }
+
+// Spawn creates an actor of the given type, placed via the placement hook
+// when one is attached, otherwise on a random up machine.
+func (rt *Runtime) Spawn(typ string, b Behavior, creator Ref) Ref {
+	srv := cluster.MachineID(-1)
+	if rt.placement != nil {
+		creatorSrv := cluster.MachineID(-1)
+		if inst := rt.actors[creator.ID]; inst != nil {
+			creatorSrv = inst.srv
+		}
+		srv = rt.placement.Place(typ, creator, creatorSrv)
+	}
+	if srv < 0 {
+		up := rt.C.UpMachines()
+		if len(up) == 0 {
+			panic("actor: no machines up")
+		}
+		srv = up[rt.K.Rand().Intn(len(up))].ID
+	}
+	return rt.SpawnOn(typ, b, srv)
+}
+
+// SpawnOn creates an actor on a specific machine.
+func (rt *Runtime) SpawnOn(typ string, b Behavior, srv cluster.MachineID) Ref {
+	m := rt.C.Machine(srv)
+	if m == nil || !m.Up() {
+		panic(fmt.Sprintf("actor: spawn on bad machine %d", srv))
+	}
+	rt.nextID++
+	inst := &instance{
+		id:         rt.nextID,
+		typ:        typ,
+		behavior:   b,
+		srv:        srv,
+		props:      make(map[string][]Ref),
+		lastMove:   rt.K.Now(),
+		pendingDst: -1,
+	}
+	rt.actors[inst.id] = inst
+	return Ref{ID: inst.id}
+}
+
+// RecoverMachine re-homes every actor of a crashed machine onto surviving
+// machines, modeling the fault-tolerance mechanism PLASMA inherits from the
+// underlying actor runtime (§2.2): actor state is restored from the
+// runtime's replication/checkpointing, in-flight processing is lost, and
+// queued messages are re-delivered at the new home. Returns the number of
+// recovered actors.
+func (rt *Runtime) RecoverMachine(srv cluster.MachineID) int {
+	up := rt.C.UpMachines()
+	if len(up) == 0 {
+		return 0
+	}
+	n := 0
+	for _, ref := range rt.ActorsOn(srv) {
+		inst := rt.actors[ref.ID]
+		dst := up[rt.K.Rand().Intn(len(up))]
+		inst.srv = dst.ID
+		inst.lastMove = rt.K.Now()
+		inst.busy = false // in-flight processing died with the machine
+		inst.migrating = false
+		inst.pendingDst = -1
+		dst.AddMem(inst.memSize)
+		n++
+		rt.pump(inst)
+	}
+	return n
+}
+
+// Stop removes an actor permanently. Queued messages are dropped.
+func (rt *Runtime) Stop(ref Ref) {
+	inst := rt.actors[ref.ID]
+	if inst == nil {
+		return
+	}
+	inst.dead = true
+	rt.C.Machine(inst.srv).AddMem(-inst.memSize)
+	delete(rt.actors, ref.ID)
+}
+
+// Exists reports whether the actor is alive.
+func (rt *Runtime) Exists(ref Ref) bool { return rt.actors[ref.ID] != nil }
+
+// TypeOf reports an actor's type name ("" if dead).
+func (rt *Runtime) TypeOf(ref Ref) string {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		return inst.typ
+	}
+	return ""
+}
+
+// ServerOf reports the machine currently hosting the actor (-1 if dead).
+func (rt *Runtime) ServerOf(ref Ref) cluster.MachineID {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		return inst.srv
+	}
+	return -1
+}
+
+// Props returns an actor's reference property (nil if absent).
+func (rt *Runtime) Props(ref Ref, name string) []Ref {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		return inst.props[name]
+	}
+	return nil
+}
+
+// SetProp sets a reference property from outside a message handler (for
+// spawn-time initialization by application facades).
+func (rt *Runtime) SetProp(ref Ref, name string, refs []Ref) {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		inst.props[name] = append([]Ref(nil), refs...)
+	}
+}
+
+// PropNames lists the actor's reference property names in sorted order.
+func (rt *Runtime) PropNames(ref Ref) []string {
+	inst := rt.actors[ref.ID]
+	if inst == nil {
+		return nil
+	}
+	names := make([]string, 0, len(inst.props))
+	for n := range inst.props {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MemSize reports the actor's declared state size in bytes.
+func (rt *Runtime) MemSize(ref Ref) int64 {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		return inst.memSize
+	}
+	return 0
+}
+
+// Pin marks the actor as unmovable; Unpin reverses it.
+func (rt *Runtime) Pin(ref Ref) {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		inst.pinned = true
+	}
+}
+
+// Unpin clears the pinned flag.
+func (rt *Runtime) Unpin(ref Ref) {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		inst.pinned = false
+	}
+}
+
+// Pinned reports whether the actor is pinned.
+func (rt *Runtime) Pinned(ref Ref) bool {
+	inst := rt.actors[ref.ID]
+	return inst != nil && inst.pinned
+}
+
+// LastMoved reports when the actor last changed servers (spawn counts).
+func (rt *Runtime) LastMoved(ref Ref) sim.Time {
+	if inst := rt.actors[ref.ID]; inst != nil {
+		return inst.lastMove
+	}
+	return 0
+}
+
+// Actors returns all live actor refs in id order (deterministic).
+func (rt *Runtime) Actors() []Ref {
+	ids := make([]ID, 0, len(rt.actors))
+	for id := range rt.actors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	refs := make([]Ref, len(ids))
+	for i, id := range ids {
+		refs[i] = Ref{ID: id}
+	}
+	return refs
+}
+
+// ActorsOn returns the live actors hosted on srv, in id order.
+func (rt *Runtime) ActorsOn(srv cluster.MachineID) []Ref {
+	var refs []Ref
+	for _, r := range rt.Actors() {
+		if rt.actors[r.ID].srv == srv {
+			refs = append(refs, r)
+		}
+	}
+	return refs
+}
+
+// send routes a message to an actor, resolving its location at delivery
+// time; messages chase migrated actors with an extra forwarding hop.
+func (rt *Runtime) send(fromSrv cluster.MachineID, msg Message, to Ref) {
+	inst := rt.actors[to.ID]
+	if inst == nil {
+		return // dead letter
+	}
+	dstSrv := inst.srv
+	lat := rt.C.TransferLatency(fromSrv, dstSrv, msg.Size)
+	if fromSrv != dstSrv {
+		rt.C.Machine(fromSrv).AddNetBytes(msg.Size)
+		rt.C.Machine(dstSrv).AddNetBytes(msg.Size)
+	}
+	rt.K.After(lat, func() {
+		cur := rt.actors[to.ID]
+		if cur == nil {
+			return
+		}
+		if cur.srv != dstSrv {
+			// Actor moved while the message was in flight: forward.
+			rt.send(dstSrv, msg, to)
+			return
+		}
+		rt.deliver(cur, msg)
+	})
+}
+
+func (rt *Runtime) deliver(inst *instance, msg Message) {
+	inst.mailbox = append(inst.mailbox, delivery{msg: msg})
+	rt.pump(inst)
+}
+
+// pump dispatches the next mailbox message if the actor is free and its
+// machine is in service (a crashed machine processes nothing; queued mail
+// drains after recovery).
+func (rt *Runtime) pump(inst *instance) {
+	if inst.busy || inst.migrating || inst.dead {
+		return
+	}
+	if m := rt.C.Machine(inst.srv); m == nil || !m.Up() {
+		return
+	}
+	if inst.pendingDst >= 0 {
+		rt.beginMigration(inst)
+		return
+	}
+	if len(inst.mailbox) == 0 {
+		return
+	}
+	d := inst.mailbox[0]
+	inst.mailbox = inst.mailbox[1:]
+	inst.busy = true
+
+	cost := rt.BaseMsgCost
+	if rt.profiler != nil {
+		cost += rt.ProfilingCost
+		rt.profiler.OnMessage(inst.srv, d.msg.SenderType, d.msg.Sender, Ref{ID: inst.id}, inst.typ, d.msg.Method, d.msg.Size)
+	}
+
+	ctx := &Context{rt: rt, inst: inst, msg: d.msg}
+	inst.behavior.Receive(ctx, d.msg)
+	cost += ctx.cpu
+
+	srv := inst.srv
+	machine := rt.C.Machine(srv)
+	machine.Exec(cost, func() {
+		if rt.profiler != nil {
+			// Attribute the actual core-occupancy time, so per-actor CPU
+			// shares are comparable with server utilization.
+			rt.profiler.OnCPU(srv, Ref{ID: inst.id}, inst.typ, machine.ScaledCost(cost))
+		}
+		ctx.commit(srv)
+		inst.busy = false
+		rt.pump(inst)
+	})
+}
+
+// Migrate asks the runtime to move an actor to dst. The move happens after
+// the actor finishes its current message; onDone (optional) reports whether
+// the migration was carried out. Pinned and dead actors refuse.
+func (rt *Runtime) Migrate(ref Ref, dst cluster.MachineID, onDone func(ok bool)) {
+	inst := rt.actors[ref.ID]
+	fail := func() {
+		if onDone != nil {
+			onDone(false)
+		}
+	}
+	if inst == nil || inst.pinned || inst.migrating || inst.pendingDst >= 0 {
+		fail()
+		return
+	}
+	m := rt.C.Machine(dst)
+	if m == nil || !m.Up() || dst == inst.srv {
+		fail()
+		return
+	}
+	inst.pendingDst = dst
+	inst.pendingFn = onDone
+	if !inst.busy {
+		rt.beginMigration(inst)
+	}
+}
+
+func (rt *Runtime) beginMigration(inst *instance) {
+	dst := inst.pendingDst
+	onDone := inst.pendingFn
+	inst.pendingDst = -1
+	inst.pendingFn = nil
+	dstM := rt.C.Machine(dst)
+	if dstM == nil || !dstM.Up() || inst.dead {
+		if onDone != nil {
+			onDone(false)
+		}
+		rt.pump(inst)
+		return
+	}
+	inst.migrating = true
+	src := inst.srv
+	stateMB := float64(inst.memSize) / (1 << 20)
+	serCost := sim.Duration(stateMB * float64(rt.SerializePerMB))
+
+	// Serialize on the source, transfer, deserialize on the destination,
+	// then resume message processing there.
+	rt.C.Machine(src).Exec(serCost, func() {
+		lat := rt.C.TransferLatency(src, dst, inst.memSize)
+		rt.C.Machine(src).AddNetBytes(inst.memSize)
+		rt.C.Machine(dst).AddNetBytes(inst.memSize)
+		rt.K.After(lat, func() {
+			rt.C.Machine(dst).Exec(serCost, func() {
+				if inst.dead {
+					if onDone != nil {
+						onDone(false)
+					}
+					return
+				}
+				rt.C.Machine(src).AddMem(-inst.memSize)
+				rt.C.Machine(dst).AddMem(inst.memSize)
+				inst.srv = dst
+				inst.lastMove = rt.K.Now()
+				inst.migrating = false
+				rt.migrations++
+				if onDone != nil {
+					onDone(true)
+				}
+				rt.pump(inst)
+			})
+		})
+	})
+}
+
+// Context carries per-message runtime operations for Behavior.Receive.
+// Outgoing effects are buffered and committed once the declared CPU cost
+// has elapsed.
+type Context struct {
+	rt   *Runtime
+	inst *instance
+	msg  Message
+
+	cpu     sim.Duration
+	effects []func(srv cluster.MachineID)
+}
+
+// Self returns the receiving actor's ref.
+func (c *Context) Self() Ref { return Ref{ID: c.inst.id} }
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Time { return c.rt.K.Now() }
+
+// Runtime exposes the hosting runtime (for spawning from handlers).
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Use declares cpu cost for processing the current message; multiple calls
+// accumulate.
+func (c *Context) Use(cpu sim.Duration) {
+	if cpu > 0 {
+		c.cpu += cpu
+	}
+}
+
+// Send asynchronously delivers a new message (no reply path).
+func (c *Context) Send(to Ref, method string, arg interface{}, size int64) {
+	out := Message{Method: method, Arg: arg, Size: size, Sender: c.Self(), SenderType: c.inst.typ}
+	c.effects = append(c.effects, func(srv cluster.MachineID) {
+		c.rt.send(srv, out, to)
+	})
+}
+
+// SendAfter delivers a new message after an extra delay beyond the current
+// message's completion (for periodic/self-paced workloads).
+func (c *Context) SendAfter(d sim.Duration, to Ref, method string, arg interface{}, size int64) {
+	out := Message{Method: method, Arg: arg, Size: size, Sender: c.Self(), SenderType: c.inst.typ}
+	c.effects = append(c.effects, func(srv cluster.MachineID) {
+		c.rt.K.After(d, func() { c.rt.send(srv, out, to) })
+	})
+}
+
+// Forward passes the current message's reply path along to another actor,
+// so a downstream actor can Reply to the original requester.
+func (c *Context) Forward(to Ref, method string, arg interface{}, size int64) {
+	out := Message{Method: method, Arg: arg, Size: size, Sender: c.Self(), SenderType: c.inst.typ, reply: c.msg.reply}
+	c.effects = append(c.effects, func(srv cluster.MachineID) {
+		c.rt.send(srv, out, to)
+	})
+}
+
+// Reply answers the current message's requester, if it expects a reply.
+func (c *Context) Reply(arg interface{}, size int64) {
+	rp := c.msg.reply
+	if rp == nil {
+		return
+	}
+	c.effects = append(c.effects, func(srv cluster.MachineID) {
+		lat := c.rt.C.TransferLatency(srv, rp.originSrv, size)
+		if srv != rp.originSrv {
+			c.rt.C.Machine(srv).AddNetBytes(size)
+			c.rt.C.Machine(rp.originSrv).AddNetBytes(size)
+		}
+		c.rt.K.After(lat, func() { rp.deliver(arg, size) })
+	})
+	if c.rt.profiler != nil {
+		c.rt.profiler.OnNet(c.inst.srv, c.Self(), c.inst.typ, size)
+	}
+}
+
+// SetProp publishes a reference property visible to EPL `ref(...)`
+// conditions. The update is immediate (metadata, not messaging).
+func (c *Context) SetProp(name string, refs []Ref) {
+	c.inst.props[name] = append([]Ref(nil), refs...)
+}
+
+// AddPropRef appends one ref to a property.
+func (c *Context) AddPropRef(name string, r Ref) {
+	c.inst.props[name] = append(c.inst.props[name], r)
+}
+
+// SetMemSize declares the actor's state size in bytes (drives machine
+// memory accounting and migration cost).
+func (c *Context) SetMemSize(bytes int64) {
+	delta := bytes - c.inst.memSize
+	c.inst.memSize = bytes
+	c.rt.C.Machine(c.inst.srv).AddMem(delta)
+}
+
+// commit applies buffered effects from the server the message was processed
+// on.
+func (c *Context) commit(srv cluster.MachineID) {
+	for _, eff := range c.effects {
+		eff(srv)
+	}
+	c.effects = nil
+}
+
+// Client issues latency-tracked requests into the actor system from a
+// client machine, mirroring the paper's client driver instances.
+type Client struct {
+	rt   *Runtime
+	Site cluster.MachineID // machine the client runs on
+}
+
+// NewClient creates a client homed on the given machine.
+func NewClient(rt *Runtime, site cluster.MachineID) *Client {
+	return &Client{rt: rt, Site: site}
+}
+
+// Request sends a message and invokes done with the end-to-end latency when
+// the (possibly multi-hop) reply arrives.
+func (cl *Client) Request(to Ref, method string, arg interface{}, size int64, done func(lat sim.Duration, reply interface{})) {
+	start := cl.rt.K.Now()
+	msg := Message{
+		Method: method, Arg: arg, Size: size, SenderType: ClientCaller,
+		reply: &replyPath{
+			originSrv: cl.Site,
+			deliver: func(replyArg interface{}, _ int64) {
+				if done != nil {
+					done(sim.Duration(cl.rt.K.Now()-start), replyArg)
+				}
+			},
+		},
+	}
+	cl.rt.send(cl.Site, msg, to)
+}
+
+// Send delivers a one-way client message (no reply expected).
+func (cl *Client) Send(to Ref, method string, arg interface{}, size int64) {
+	msg := Message{Method: method, Arg: arg, Size: size, SenderType: ClientCaller}
+	cl.rt.send(cl.Site, msg, to)
+}

@@ -1,0 +1,150 @@
+package actor
+
+import (
+	"testing"
+
+	"plasma/internal/cluster"
+	"plasma/internal/sim"
+)
+
+// Machine-failure behavior: the cluster drops in-flight work, and
+// RecoverMachine models the underlying runtime's fault tolerance (§2.2) by
+// re-homing the crashed machine's actors.
+
+func TestMachineFailDropsInFlightWork(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := NewRuntime(k, c)
+	done := false
+	ref := rt.SpawnOn("A", BehaviorFunc(func(ctx *Context, msg Message) {
+		ctx.Use(50 * sim.Millisecond)
+		ctx.Reply(nil, 8)
+	}), 0)
+	NewClient(rt, 1).Request(ref, "m", nil, 8, func(sim.Duration, interface{}) { done = true })
+	k.Run(sim.Time(5 * sim.Millisecond)) // mid-processing
+	if !c.Fail(0) {
+		t.Fatal("Fail rejected")
+	}
+	k.RunUntilIdle()
+	if done {
+		t.Fatal("reply arrived from a crashed machine")
+	}
+	if c.Machine(0).Up() {
+		t.Fatal("failed machine still up")
+	}
+}
+
+func TestRecoverMachineRehomesActors(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 3, cluster.M1Small)
+	rt := NewRuntime(k, c)
+	var served int
+	var refs []Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, rt.SpawnOn("A", BehaviorFunc(func(ctx *Context, msg Message) {
+			ctx.Use(sim.Millisecond)
+			served++
+			ctx.Reply(nil, 8)
+		}), 0))
+	}
+	k.RunUntilIdle()
+	c.Fail(0)
+	n := rt.RecoverMachine(0)
+	if n != 4 {
+		t.Fatalf("recovered %d actors, want 4", n)
+	}
+	for _, r := range refs {
+		if srv := rt.ServerOf(r); srv == 0 || srv < 0 {
+			t.Fatalf("actor %v still on failed machine (srv %d)", r, srv)
+		}
+	}
+	// Recovered actors keep serving.
+	cl := NewClient(rt, 1)
+	replies := 0
+	for _, r := range refs {
+		cl.Request(r, "m", nil, 8, func(sim.Duration, interface{}) { replies++ })
+	}
+	k.RunUntilIdle()
+	if replies != 4 {
+		t.Fatalf("replies = %d, want 4 after recovery", replies)
+	}
+}
+
+func TestRecoverMachineRestoresMemoryAccounting(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := NewRuntime(k, c)
+	ref := rt.SpawnOn("A", BehaviorFunc(func(ctx *Context, msg Message) {
+		ctx.SetMemSize(1 << 20)
+	}), 0)
+	NewClient(rt, 0).Send(ref, "init", nil, 1)
+	k.RunUntilIdle()
+	c.Fail(0)
+	rt.RecoverMachine(0)
+	if got := c.Machine(1).MemUsed(); got != 1<<20 {
+		t.Fatalf("destination memory = %d, want actor state re-attributed", got)
+	}
+}
+
+func TestRepairReturnsMachineToService(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	c.Fail(0)
+	if c.UpCount() != 1 {
+		t.Fatalf("UpCount = %d after failure", c.UpCount())
+	}
+	if !c.Repair(0) {
+		t.Fatal("Repair rejected")
+	}
+	if c.UpCount() != 2 || !c.Machine(0).Up() {
+		t.Fatal("machine not back in service")
+	}
+	// Repaired machine executes work again.
+	done := false
+	c.Machine(0).Exec(sim.Millisecond, func() { done = true })
+	k.RunUntilIdle()
+	if !done {
+		t.Fatal("repaired machine did not execute work")
+	}
+}
+
+func TestFailRepairBounds(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 1, cluster.M1Small)
+	_ = k
+	if c.Fail(99) {
+		t.Fatal("unknown machine failed")
+	}
+	if c.Repair(0) {
+		t.Fatal("repairing a healthy machine accepted")
+	}
+	c.Fail(0)
+	if c.Fail(0) {
+		t.Fatal("double failure accepted")
+	}
+}
+
+func TestMessagesToFailedMachineActorAreLostUntilRecovery(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := NewRuntime(k, c)
+	got := 0
+	ref := rt.SpawnOn("A", BehaviorFunc(func(ctx *Context, msg Message) {
+		got++
+	}), 0)
+	k.RunUntilIdle()
+	c.Fail(0)
+	// Sends during the outage queue in the mailbox but cannot be processed.
+	cl := NewClient(rt, 1)
+	cl.Send(ref, "m", nil, 8)
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("message processed on a failed machine")
+	}
+	// Recovery re-homes the actor; its queued mail drains.
+	rt.RecoverMachine(0)
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("queued message not re-delivered after recovery: got=%d", got)
+	}
+}

@@ -1,0 +1,291 @@
+// Package bptree is the distributed B+ tree application of Table 1: inner
+// nodes and leaf nodes are actors; lookups and inserts route from the root
+// through inner nodes to a leaf, and nodes split as they fill, growing the
+// tree upward.
+//
+// Its two elasticity rules keep parent and child inner nodes together (a
+// lookup always traverses that edge) while spreading leaf nodes — where the
+// data and the per-key work live — across servers.
+package bptree
+
+import (
+	"math"
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// PolicySrc is Table 1's B+ tree policy: colocate parent-child inner nodes,
+// keep leaf nodes on separate servers.
+const PolicySrc = `
+InnerNode(c) in ref(InnerNode(p).children) => colocate(p, c);
+true => separate(LeafNode(a), LeafNode(b));
+`
+
+// Schema declares the application's actor classes.
+func Schema() *epl.Schema {
+	return epl.NewSchema(
+		epl.Class("InnerNode", []string{"lookup", "insert", "childSplit"}, []string{"children"}),
+		epl.Class("LeafNode", []string{"lookup", "insert"}, nil),
+	)
+}
+
+// Fanout is the maximum number of keys per node before splitting.
+const Fanout = 8
+
+const (
+	innerCost = 100 * sim.Microsecond
+	leafCost  = 400 * sim.Microsecond
+)
+
+// op carries a tree operation.
+type op struct {
+	Key   int
+	Value int
+}
+
+// split reports a node split: Right covers keys >= SepKey.
+type split struct {
+	SepKey int
+	Right  actor.Ref
+}
+
+// Tree is a deployed B+ tree. The facade tracks the root and parent links
+// (the paper's AEON implementation routes the same bookkeeping through a
+// facade actor); node contents live in the actors.
+type Tree struct {
+	K  *sim.Kernel
+	RT *actor.Runtime
+
+	Root   actor.Ref
+	Inners []actor.Ref
+	Leaves []actor.Ref
+
+	parent map[actor.Ref]actor.Ref
+	srvs   []cluster.MachineID
+	next   int
+}
+
+type leafNode struct {
+	tree    *Tree
+	keys    []int
+	vals    []int
+	high    int       // exclusive upper bound of this leaf's key range
+	sibling actor.Ref // right sibling (B-link pointer)
+}
+
+func (l *leafNode) Receive(ctx *actor.Context, msg actor.Message) {
+	o, _ := msg.Arg.(op)
+	// B-link forwarding: a key beyond this leaf's range chases the right
+	// sibling, which keeps routing correct while a split is still
+	// propagating to the parent.
+	if (msg.Method == "lookup" || msg.Method == "insert") && o.Key >= l.high {
+		ctx.Use(innerCost)
+		ctx.Forward(l.sibling, msg.Method, o, msg.Size)
+		return
+	}
+	switch msg.Method {
+	case "lookup":
+		ctx.Use(leafCost)
+		i := sort.SearchInts(l.keys, o.Key)
+		if i < len(l.keys) && l.keys[i] == o.Key {
+			ctx.Reply(l.vals[i], 64)
+		} else {
+			ctx.Reply(nil, 16)
+		}
+	case "insert":
+		ctx.Use(leafCost)
+		i := sort.SearchInts(l.keys, o.Key)
+		if i < len(l.keys) && l.keys[i] == o.Key {
+			l.vals[i] = o.Value
+		} else {
+			l.keys = insertAt(l.keys, i, o.Key)
+			l.vals = insertAt(l.vals, i, o.Value)
+		}
+		ctx.SetMemSize(int64(len(l.keys)) * 128)
+		if len(l.keys) > Fanout {
+			mid := len(l.keys) / 2
+			right := &leafNode{
+				tree:    l.tree,
+				keys:    append([]int(nil), l.keys[mid:]...),
+				vals:    append([]int(nil), l.vals[mid:]...),
+				high:    l.high,
+				sibling: l.sibling,
+			}
+			l.keys = l.keys[:mid]
+			l.vals = l.vals[:mid]
+			rref := l.tree.spawnLeaf(right)
+			l.high = right.keys[0]
+			l.sibling = rref
+			l.tree.onSplit(ctx.Self(), split{SepKey: right.keys[0], Right: rref})
+		}
+		ctx.Reply(nil, 16)
+	}
+}
+
+type innerNode struct {
+	tree     *Tree
+	keys     []int
+	children []actor.Ref
+	high     int       // exclusive upper bound of this node's key range
+	sibling  actor.Ref // right sibling (B-link pointer)
+}
+
+func (n *innerNode) childFor(key int) actor.Ref {
+	return n.children[sort.SearchInts(n.keys, key+1)]
+}
+
+func (n *innerNode) Receive(ctx *actor.Context, msg actor.Message) {
+	switch msg.Method {
+	case "lookup", "insert":
+		o, _ := msg.Arg.(op)
+		ctx.Use(innerCost)
+		if o.Key >= n.high {
+			ctx.Forward(n.sibling, msg.Method, o, msg.Size)
+			return
+		}
+		ctx.Forward(n.childFor(o.Key), msg.Method, o, msg.Size)
+	case "childSplit":
+		sp, _ := msg.Arg.(split)
+		ctx.Use(innerCost)
+		i := sort.SearchInts(n.keys, sp.SepKey)
+		n.keys = insertAt(n.keys, i, sp.SepKey)
+		n.children = insertAt(n.children, i+1, sp.Right)
+		ctx.SetProp("children", n.innerChildren())
+		if len(n.keys) > Fanout {
+			mid := len(n.keys) / 2
+			sep := n.keys[mid]
+			right := &innerNode{
+				tree:     n.tree,
+				keys:     append([]int(nil), n.keys[mid+1:]...),
+				children: append([]actor.Ref(nil), n.children[mid+1:]...),
+				high:     n.high,
+				sibling:  n.sibling,
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			ctx.SetProp("children", n.innerChildren())
+			rref := n.tree.spawnInner(right)
+			n.high = sep
+			n.sibling = rref
+			for _, c := range right.children {
+				n.tree.parent[c] = rref
+			}
+			n.tree.RT.SetProp(rref, "children", right.innerChildren())
+			n.tree.onSplit(ctx.Self(), split{SepKey: sep, Right: rref})
+		}
+	}
+}
+
+// innerChildren returns only the children that are inner nodes, for the
+// colocation property (leaves deliberately separate instead).
+func (n *innerNode) innerChildren() []actor.Ref {
+	var out []actor.Ref
+	for _, c := range n.children {
+		if n.tree.RT.TypeOf(c) == "InnerNode" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// New builds an empty tree (a single leaf root) spreading nodes round-robin
+// over servers.
+func New(k *sim.Kernel, rt *actor.Runtime, servers []cluster.MachineID) *Tree {
+	t := &Tree{K: k, RT: rt, srvs: servers, parent: map[actor.Ref]actor.Ref{}}
+	t.Root = t.spawnLeaf(&leafNode{tree: t, high: math.MaxInt})
+	return t
+}
+
+func (t *Tree) nextSrv() cluster.MachineID {
+	s := t.srvs[t.next%len(t.srvs)]
+	t.next++
+	return s
+}
+
+func (t *Tree) spawnLeaf(l *leafNode) actor.Ref {
+	ref := t.RT.SpawnOn("LeafNode", l, t.nextSrv())
+	t.Leaves = append(t.Leaves, ref)
+	return ref
+}
+
+func (t *Tree) spawnInner(n *innerNode) actor.Ref {
+	ref := t.RT.SpawnOn("InnerNode", n, t.nextSrv())
+	t.Inners = append(t.Inners, ref)
+	return ref
+}
+
+// onSplit routes a split to the splitting node's parent, or grows a new
+// root when the root itself split. Called from inside node handlers (the
+// simulator is single-threaded, so facade state is safe to touch).
+func (t *Tree) onSplit(left actor.Ref, sp split) {
+	t.parent[sp.Right] = t.parent[left]
+	if left == t.Root {
+		root := &innerNode{
+			tree: t, keys: []int{sp.SepKey},
+			children: []actor.Ref{left, sp.Right},
+			high:     math.MaxInt,
+		}
+		rootRef := t.spawnInner(root)
+		t.RT.SetProp(rootRef, "children", root.innerChildren())
+		t.parent[left] = rootRef
+		t.parent[sp.Right] = rootRef
+		t.Root = rootRef
+		return
+	}
+	p := t.parent[left]
+	cl := actor.NewClient(t.RT, t.RT.ServerOf(p))
+	cl.Send(p, "childSplit", sp, 64)
+}
+
+// Insert writes key=value through the root.
+func (t *Tree) Insert(cl *actor.Client, key, value int, done func()) {
+	cl.Request(t.Root, "insert", op{Key: key, Value: value}, 128, func(sim.Duration, interface{}) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Lookup reads a key through the root.
+func (t *Tree) Lookup(cl *actor.Client, key int, done func(value interface{})) {
+	cl.Request(t.Root, "lookup", op{Key: key}, 128, func(_ sim.Duration, reply interface{}) {
+		if done != nil {
+			done(reply)
+		}
+	})
+}
+
+// Depth reports the tree height (1 = a single leaf root).
+func (t *Tree) Depth() int {
+	d := 1
+	ref := t.Root
+	for t.RT.TypeOf(ref) == "InnerNode" {
+		d++
+		// Follow the leftmost child via the parent map inverse: cheapest is
+		// to scan for a node whose parent is ref.
+		var next actor.Ref
+		for c, p := range t.parent {
+			if p == ref {
+				next = c
+				break
+			}
+		}
+		if next.Zero() {
+			break
+		}
+		ref = next
+	}
+	return d
+}

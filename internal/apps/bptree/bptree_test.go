@@ -1,0 +1,176 @@
+package bptree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+func env(machines int) (*sim.Kernel, *cluster.Cluster, *actor.Runtime, *profile.Profiler) {
+	k := sim.New(1)
+	c := cluster.New(k, machines, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	return k, c, rt, prof
+}
+
+func servers(n int) []cluster.MachineID {
+	out := make([]cluster.MachineID, n)
+	for i := range out {
+		out[i] = cluster.MachineID(i)
+	}
+	return out
+}
+
+func TestPolicyChecksAgainstSchema(t *testing.T) {
+	pol := epl.MustParse(PolicySrc)
+	if _, err := epl.Check(pol, Schema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	k, _, rt, _ := env(2)
+	tree := New(k, rt, servers(2))
+	cl := actor.NewClient(rt, 0)
+	for i := 0; i < 100; i++ {
+		tree.Insert(cl, i*7%100, i, nil)
+		k.RunUntilIdle()
+	}
+	for i := 0; i < 100; i++ {
+		key := i * 7 % 100
+		var got interface{}
+		tree.Lookup(cl, key, func(v interface{}) { got = v })
+		k.RunUntilIdle()
+		if got != i && got == nil {
+			t.Fatalf("key %d missing", key)
+		}
+	}
+}
+
+func TestMissingKeyReturnsNil(t *testing.T) {
+	k, _, rt, _ := env(1)
+	tree := New(k, rt, servers(1))
+	cl := actor.NewClient(rt, 0)
+	tree.Insert(cl, 1, 10, nil)
+	k.RunUntilIdle()
+	got := interface{}(42)
+	tree.Lookup(cl, 999, func(v interface{}) { got = v })
+	k.RunUntilIdle()
+	if got != nil {
+		t.Fatalf("missing key returned %v", got)
+	}
+}
+
+func TestTreeGrowsAndSplits(t *testing.T) {
+	k, _, rt, _ := env(4)
+	tree := New(k, rt, servers(4))
+	cl := actor.NewClient(rt, 0)
+	for i := 0; i < 200; i++ {
+		tree.Insert(cl, i, i, nil)
+		k.RunUntilIdle()
+	}
+	if len(tree.Leaves) < 200/(Fanout+1) {
+		t.Fatalf("only %d leaves after 200 inserts", len(tree.Leaves))
+	}
+	if len(tree.Inners) == 0 {
+		t.Fatal("tree never grew inner nodes")
+	}
+	if rt.TypeOf(tree.Root) != "InnerNode" {
+		t.Fatal("root still a leaf")
+	}
+}
+
+func TestConcurrentInsertsNoLoss(t *testing.T) {
+	// Fire inserts without waiting: B-link sibling forwarding must keep
+	// every key findable despite in-flight splits.
+	k, _, rt, _ := env(4)
+	tree := New(k, rt, servers(4))
+	cl := actor.NewClient(rt, 0)
+	const n = 300
+	for i := 0; i < n; i++ {
+		tree.Insert(cl, i, i, nil)
+	}
+	k.RunUntilIdle()
+	missing := 0
+	for i := 0; i < n; i++ {
+		var got interface{}
+		tree.Lookup(cl, i, func(v interface{}) { got = v })
+		k.RunUntilIdle()
+		if got == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d/%d keys unreachable after concurrent inserts", missing, n)
+	}
+}
+
+func TestPropertyRandomWorkload(t *testing.T) {
+	f := func(keys []uint16) bool {
+		k, _, rt, _ := env(3)
+		tree := New(k, rt, servers(3))
+		cl := actor.NewClient(rt, 0)
+		want := map[int]int{}
+		for i, raw := range keys {
+			key := int(raw % 500)
+			tree.Insert(cl, key, i, nil)
+			want[key] = i
+			k.RunUntilIdle()
+		}
+		for key, val := range want {
+			var got interface{}
+			tree.Lookup(cl, key, func(v interface{}) { got = v })
+			k.RunUntilIdle()
+			if got != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticityColocatesInnerFamilies(t *testing.T) {
+	k, c, rt, prof := env(4)
+	tree := New(k, rt, servers(4))
+	cl := actor.NewClient(rt, 0)
+	for i := 0; i < 400; i++ {
+		tree.Insert(cl, i, i, nil)
+		k.RunUntilIdle()
+	}
+	mgr := emr.New(k, c, rt, prof, epl.MustParse(PolicySrc),
+		emr.Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	mgr.Start()
+	// Keep a light lookup load going.
+	k.Every(10*sim.Millisecond, func() bool {
+		tree.Lookup(cl, int(k.Now())%400, nil)
+		return k.Now() < sim.Time(6*sim.Second)
+	})
+	k.Run(sim.Time(8 * sim.Second))
+
+	// All inner nodes should have converged onto one server.
+	srvs := map[cluster.MachineID]bool{}
+	for _, in := range tree.Inners {
+		srvs[rt.ServerOf(in)] = true
+	}
+	if len(srvs) != 1 {
+		t.Fatalf("inner nodes on %d servers, want 1", len(srvs))
+	}
+	// Leaves should stay spread out.
+	leafSrvs := map[cluster.MachineID]bool{}
+	for _, lf := range tree.Leaves {
+		leafSrvs[rt.ServerOf(lf)] = true
+	}
+	if len(leafSrvs) < 2 {
+		t.Fatalf("leaves collapsed onto %d servers", len(leafSrvs))
+	}
+}

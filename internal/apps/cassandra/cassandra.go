@@ -1,0 +1,150 @@
+// Package cassandra is the Cassandra-style application of Table 1: a
+// replicated wide-column store where each table's replicas must land on
+// different servers for fault isolation. A Coordinator actor fans writes
+// out to every Replica of the key's table and acknowledges once a quorum
+// has accepted.
+package cassandra
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// PolicySrc is Table 1's Cassandra policy: replicas of a table on
+// different servers.
+const PolicySrc = `
+Replica(r1) in ref(TableMeta(t).replicas) and
+Replica(r2) in ref(t.replicas) =>
+    separate(r1, r2);
+`
+
+// Schema declares the application's actor classes.
+func Schema() *epl.Schema {
+	return epl.NewSchema(
+		epl.Class("Coordinator", []string{"write", "read"}, nil),
+		epl.Class("TableMeta", []string{"describe"}, []string{"replicas"}),
+		epl.Class("Replica", []string{"apply", "fetch"}, nil),
+	)
+}
+
+const (
+	coordCost = 100 * sim.Microsecond
+	applyCost = 300 * sim.Microsecond
+	rowSize   = 2 << 10
+	quorumOf3 = 2
+)
+
+// writeReq tracks one quorum write in flight.
+type writeReq struct {
+	Table int
+	Key   int
+}
+
+// App is a deployed store.
+type App struct {
+	RT          *actor.Runtime
+	Coordinator actor.Ref
+	TableMetas  []actor.Ref
+	Replicas    [][]actor.Ref // per table
+
+	Writes int
+}
+
+type coordState struct{ app *App }
+
+func (cs *coordState) Receive(ctx *actor.Context, msg actor.Message) {
+	req, _ := msg.Arg.(writeReq)
+	switch msg.Method {
+	case "write":
+		ctx.Use(coordCost)
+		reps := cs.app.Replicas[req.Table%len(cs.app.Replicas)]
+		// Fan out; the first (quorum leader) carries the reply path so the
+		// client unblocks after the quorum leader applies (a simplification
+		// of per-ack counting that preserves the messaging pattern).
+		for i, r := range reps {
+			if i == 0 {
+				ctx.Forward(r, "apply", req, msg.Size)
+			} else {
+				ctx.Send(r, "apply", req, msg.Size)
+			}
+		}
+		cs.app.Writes++
+	case "read":
+		ctx.Use(coordCost)
+		reps := cs.app.Replicas[req.Table%len(cs.app.Replicas)]
+		ctx.Forward(reps[0], "fetch", req, msg.Size)
+	}
+}
+
+type replicaState struct {
+	rows map[int]int
+}
+
+func (rs *replicaState) Receive(ctx *actor.Context, msg actor.Message) {
+	req, _ := msg.Arg.(writeReq)
+	switch msg.Method {
+	case "apply":
+		ctx.Use(applyCost)
+		rs.rows[req.Key] = req.Key
+		ctx.SetMemSize(int64(len(rs.rows)) * rowSize)
+		ctx.Reply(nil, 32)
+	case "fetch":
+		ctx.Use(applyCost)
+		v, ok := rs.rows[req.Key]
+		if ok {
+			ctx.Reply(v, rowSize)
+		} else {
+			ctx.Reply(nil, 16)
+		}
+	}
+}
+
+type tableMetaState struct {
+	replicas []actor.Ref
+}
+
+func (tm *tableMetaState) Receive(ctx *actor.Context, msg actor.Message) {
+	if msg.Method == "init" {
+		ctx.SetProp("replicas", tm.replicas)
+	}
+}
+
+// Build deploys tables×rf replicas; all replicas initially crowd the first
+// server (the separate rule must spread them).
+func Build(k *sim.Kernel, rt *actor.Runtime, first cluster.MachineID, tables, rf int) *App {
+	app := &App{RT: rt}
+	boot := actor.NewClient(rt, first)
+	for t := 0; t < tables; t++ {
+		var reps []actor.Ref
+		for r := 0; r < rf; r++ {
+			reps = append(reps, rt.SpawnOn("Replica", &replicaState{rows: map[int]int{}}, first))
+		}
+		meta := rt.SpawnOn("TableMeta", &tableMetaState{replicas: reps}, first)
+		boot.Send(meta, "init", nil, 1)
+		app.TableMetas = append(app.TableMetas, meta)
+		app.Replicas = append(app.Replicas, reps)
+	}
+	app.Coordinator = rt.SpawnOn("Coordinator", &coordState{app: app}, first)
+	return app
+}
+
+// Write issues one replicated write and reports completion latency.
+func (app *App) Write(cl *actor.Client, table, key int, done func(lat sim.Duration)) {
+	cl.Request(app.Coordinator, "write", writeReq{Table: table, Key: key}, rowSize, func(lat sim.Duration, _ interface{}) {
+		if done != nil {
+			done(lat)
+		}
+	})
+}
+
+// DistinctServers reports, per table, how many different servers its
+// replicas occupy.
+func (app *App) DistinctServers(table int) int {
+	srvs := map[cluster.MachineID]bool{}
+	for _, r := range app.Replicas[table] {
+		srvs[app.RT.ServerOf(r)] = true
+	}
+	return len(srvs)
+}

@@ -1,0 +1,95 @@
+package cassandra
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+func TestPolicyChecksAgainstSchema(t *testing.T) {
+	pol := epl.MustParse(PolicySrc)
+	if _, err := epl.Check(pol, Schema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReplicatesToAllReplicas(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := Build(k, rt, 0, 1, 3)
+	k.RunUntilIdle()
+	prof.Reset()
+	cl := actor.NewClient(rt, 1)
+	done := false
+	app.Write(cl, 0, 42, func(sim.Duration) { done = true })
+	k.RunUntilIdle()
+	if !done {
+		t.Fatal("write never acknowledged")
+	}
+	snap := prof.Snapshot(nil)
+	applied := 0
+	for _, r := range app.Replicas[0] {
+		ai := snap.Actor(r)
+		for _, cs := range ai.Calls {
+			if cs.Method == "apply" {
+				applied += int(cs.Count)
+			}
+		}
+	}
+	if applied != 3 {
+		t.Fatalf("apply reached %d replicas, want 3", applied)
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 1, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	_ = profile.New(k, c, rt)
+	app := Build(k, rt, 0, 2, 3)
+	k.RunUntilIdle()
+	cl := actor.NewClient(rt, 0)
+	app.Write(cl, 1, 7, nil)
+	k.RunUntilIdle()
+	var got interface{}
+	cl.Request(app.Coordinator, "read", writeReq{Table: 1, Key: 7}, 64, func(_ sim.Duration, v interface{}) { got = v })
+	k.RunUntilIdle()
+	if got != 7 {
+		t.Fatalf("read returned %v", got)
+	}
+}
+
+func TestSeparateSpreadsReplicas(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 3, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := Build(k, rt, 0, 2, 3)
+	k.RunUntilIdle()
+	if app.DistinctServers(0) != 1 {
+		t.Fatal("replicas should start crowded")
+	}
+	mgr := emr.New(k, c, rt, prof, epl.MustParse(PolicySrc),
+		emr.Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	mgr.Start()
+	cl := actor.NewClient(rt, 0)
+	i := 0
+	k.Every(5*sim.Millisecond, func() bool {
+		app.Write(cl, i%2, i, nil)
+		i++
+		return k.Now() < sim.Time(10*sim.Second)
+	})
+	k.Run(sim.Time(12 * sim.Second))
+	for tbl := 0; tbl < 2; tbl++ {
+		if n := app.DistinctServers(tbl); n < 3 {
+			t.Fatalf("table %d replicas on %d servers, want 3", tbl, n)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package halo is the Halo Presence Service of §3.3 and §5.7 (Fig. 11): a
+// player-liveness tracker modeled on Halo 4's actor-based presence service.
+// Game consoles (clients) periodically send heartbeats to a randomly chosen
+// Router actor; the router forwards to the Session actor managing the
+// player, which forwards to the Player actor; the player acknowledges,
+// which is the latency clients observe.
+//
+// A Player belongs to exactly one Session at a time, so the interaction
+// rule co-locates each Player with its Session (and pins the session); the
+// resource rule balances Router CPU across servers.
+package halo
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// InterPolicySrc is the §3.3 interaction rule, verbatim.
+const InterPolicySrc = `
+Player(p) in ref(Session(s).players) =>
+    pin(s); colocate(p, s);
+`
+
+// RouterPolicySrc is the §5.7 resource rule balancing Router CPU.
+const RouterPolicySrc = `
+server.cpu.perc > 80 or server.cpu.perc < 60 =>
+    balance({Router}, cpu);
+`
+
+// FullPolicySrc combines both rules (Table 1's two Halo rules).
+const FullPolicySrc = RouterPolicySrc + InterPolicySrc
+
+// Schema declares the application's actor classes.
+func Schema() *epl.Schema {
+	return epl.NewSchema(
+		epl.Class("Router", []string{"heartbeat"}, nil),
+		epl.Class("Session", []string{"presence"}, []string{"players"}),
+		epl.Class("Player", []string{"update"}, nil),
+	)
+}
+
+// Costs and sizes per hop.
+const (
+	// DecryptCost is charged by routers when decryption is enabled (§5.7's
+	// resource-rule experiment overloads router servers with it).
+	DecryptCost   = 8 * sim.Millisecond
+	routeCost     = 200 * sim.Microsecond
+	presenceCost  = 300 * sim.Microsecond
+	updateCost    = 200 * sim.Microsecond
+	heartbeatSize = 256
+)
+
+// App is a deployed presence service.
+type App struct {
+	K  *sim.Kernel
+	RT *actor.Runtime
+
+	Routers  []actor.Ref
+	Sessions []actor.Ref
+	Players  []actor.Ref
+
+	sessionOf map[actor.Ref]actor.Ref // player -> session
+	// Decrypt enables the CPU-heavy decryption step on routers.
+	Decrypt bool
+}
+
+type routerState struct{ app *App }
+
+func (r *routerState) Receive(ctx *actor.Context, msg actor.Message) {
+	if msg.Method != "heartbeat" {
+		return
+	}
+	if r.app.Decrypt {
+		ctx.Use(DecryptCost)
+	} else {
+		ctx.Use(routeCost)
+	}
+	player, _ := msg.Arg.(actor.Ref)
+	session := r.app.sessionOf[player]
+	if session.Zero() {
+		ctx.Reply(nil, 64)
+		return
+	}
+	ctx.Forward(session, "presence", player, msg.Size)
+}
+
+type sessionState struct{ app *App }
+
+func (s *sessionState) Receive(ctx *actor.Context, msg actor.Message) {
+	switch msg.Method {
+	case "presence":
+		ctx.Use(presenceCost)
+		player, _ := msg.Arg.(actor.Ref)
+		ctx.Forward(player, "update", nil, msg.Size)
+	case "sync":
+		// Re-publish the membership property after joins.
+		refs, _ := msg.Arg.([]actor.Ref)
+		ctx.SetProp("players", refs)
+	}
+}
+
+type playerState struct{}
+
+func (playerState) Receive(ctx *actor.Context, msg actor.Message) {
+	if msg.Method == "update" {
+		ctx.Use(updateCost)
+		ctx.Reply(nil, 64)
+	}
+}
+
+// Build deploys routers and sessions round-robin over the given servers.
+// Players join later via Join.
+func Build(k *sim.Kernel, rt *actor.Runtime, routerSrvs, sessionSrvs []cluster.MachineID, routers, sessions int) *App {
+	app := &App{K: k, RT: rt, sessionOf: map[actor.Ref]actor.Ref{}}
+	for i := 0; i < routers; i++ {
+		app.Routers = append(app.Routers,
+			rt.SpawnOn("Router", &routerState{app: app}, routerSrvs[i%len(routerSrvs)]))
+	}
+	for i := 0; i < sessions; i++ {
+		app.Sessions = append(app.Sessions,
+			rt.SpawnOn("Session", &sessionState{app: app}, sessionSrvs[i%len(sessionSrvs)]))
+	}
+	return app
+}
+
+// Join creates a Player actor for a new client, assigns it to the session,
+// and publishes the session's updated membership. The player is created via
+// the runtime placement hook with the session as creator, matching §5.7:
+// with the interaction rule installed the hook puts it on the session's
+// server; otherwise placement is random.
+func (app *App) Join(sessionIdx int) actor.Ref {
+	session := app.Sessions[sessionIdx%len(app.Sessions)]
+	player := app.RT.Spawn("Player", playerState{}, session)
+	app.Players = append(app.Players, player)
+	app.sessionOf[player] = session
+
+	var members []actor.Ref
+	for p, s := range app.sessionOf {
+		if s == session {
+			members = append(members, p)
+		}
+	}
+	// Deterministic order for the property.
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if members[j].ID < members[i].ID {
+				members[i], members[j] = members[j], members[i]
+			}
+		}
+	}
+	cl := actor.NewClient(app.RT, app.RT.ServerOf(session))
+	cl.Send(session, "sync", members, 64)
+	return player
+}
+
+// SessionOf reports the session a player belongs to.
+func (app *App) SessionOf(p actor.Ref) actor.Ref { return app.sessionOf[p] }
+
+// Heartbeat sends one heartbeat for the player through a random router and
+// reports the round-trip latency to done.
+func (app *App) Heartbeat(cl *actor.Client, player actor.Ref, done func(lat sim.Duration)) {
+	router := app.Routers[app.K.Rand().Intn(len(app.Routers))]
+	cl.Request(router, "heartbeat", player, heartbeatSize, func(lat sim.Duration, _ interface{}) {
+		if done != nil {
+			done(lat)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package mediaservice
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/workload"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// End-to-end fleet lifecycle (the Fig. 10 mechanics at unit scale): the
+// fleet grows under a client wave through reserve-driven scale-out and is
+// reclaimed by scale-in after the wave leaves.
+func TestFleetGrowsAndShrinksWithClientWave(t *testing.T) {
+	k := sim.New(1)
+	inst := cluster.M1Small
+	inst.Boot = 5 * sim.Second
+	c := cluster.New(k, 4, inst)
+	c.SetMaxSize(65)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := Build(k, rt, []cluster.MachineID{0, 1, 2, 3}, 4)
+	k.RunUntilIdle()
+
+	mgr := emr.New(k, c, rt, prof, epl.MustParse(PolicySrc),
+		emr.Config{Period: 10 * sim.Second, ScaleOut: true, ScaleIn: true,
+			MinServers: 4, InstanceType: inst})
+	mgr.Start()
+
+	const clients = 24
+	type session struct {
+		id   int
+		loop *workload.ClosedLoop
+	}
+	var sessions []session
+	for i := 0; i < clients; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Time(2*sim.Second), func() {
+			id, fe := app.AddClient()
+			watch := true
+			loop := &workload.ClosedLoop{
+				K: k, Client: actor.NewClient(rt, 0), Think: 150 * sim.Millisecond,
+				Next: func() workload.Request {
+					watch = !watch
+					if watch {
+						return workload.Request{Target: fe, Method: "watch", Size: 512}
+					}
+					return workload.Request{Target: fe, Method: "review", Size: 2 << 10}
+				},
+			}
+			loop.Start()
+			sessions = append(sessions, session{id: id, loop: loop})
+		})
+	}
+	k.Run(sim.Time(120 * sim.Second))
+	peak := c.UpCount()
+	if peak <= 4 {
+		t.Fatalf("fleet never grew: %d servers at peak load", peak)
+	}
+	if mgr.Stats.ScaleOuts == 0 {
+		t.Fatal("no scale-outs recorded")
+	}
+
+	// The wave leaves.
+	for _, s := range sessions {
+		s.loop.Stop()
+		app.RemoveClient(s.id)
+	}
+	k.Run(sim.Time(400 * sim.Second))
+	final := c.UpCount()
+	if final >= peak {
+		t.Fatalf("fleet not reclaimed: peak %d, final %d", peak, final)
+	}
+	if mgr.Stats.ScaleIns == 0 {
+		t.Fatal("no scale-ins recorded")
+	}
+	if final < 4 {
+		t.Fatalf("fleet shrank below MinServers: %d", final)
+	}
+	// No application actors may be lost during reclaim.
+	if app.ActiveActors() != 8 { // 4 MovieReviews + 4 Catalogs
+		t.Fatalf("actors after reclaim = %d, want the 8 globals", app.ActiveActors())
+	}
+}

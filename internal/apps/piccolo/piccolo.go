@@ -1,0 +1,112 @@
+// Package piccolo is the Piccolo application of Table 1: distributed
+// computation kernels over partitioned in-memory tables. Worker actors run
+// iterative kernels that read from Table actors; Table 1's two rules balance
+// worker CPU across servers and co-locate each worker with the table
+// partition it reads from.
+package piccolo
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// PolicySrc is Table 1's Piccolo policy.
+const PolicySrc = `
+server.cpu.perc > 80 or server.cpu.perc < 60 =>
+    balance({Worker}, cpu);
+Table(t) in ref(Worker(w).reads) => colocate(w, t);
+`
+
+// Schema declares the application's actor classes.
+func Schema() *epl.Schema {
+	return epl.NewSchema(
+		epl.Class("Worker", []string{"kernel"}, []string{"reads"}),
+		epl.Class("Table", []string{"get", "put"}, nil),
+	)
+}
+
+const (
+	getCost  = 50 * sim.Microsecond
+	putCost  = 80 * sim.Microsecond
+	cellSize = 512
+)
+
+// App is a deployed Piccolo computation.
+type App struct {
+	RT      *actor.Runtime
+	Workers []actor.Ref
+	Tables  []actor.Ref
+
+	// KernelRuns counts completed kernel invocations per worker.
+	KernelRuns []int
+}
+
+type tableState struct {
+	cells map[int]int
+}
+
+func (t *tableState) Receive(ctx *actor.Context, msg actor.Message) {
+	switch msg.Method {
+	case "get":
+		ctx.Use(getCost)
+		key, _ := msg.Arg.(int)
+		ctx.Reply(t.cells[key], cellSize)
+	case "put":
+		ctx.Use(putCost)
+		key, _ := msg.Arg.(int)
+		t.cells[key] = t.cells[key] + 1
+		ctx.SetMemSize(int64(len(t.cells)) * cellSize)
+	}
+}
+
+type workerState struct {
+	app        *App
+	idx        int
+	table      actor.Ref
+	kernelCost sim.Duration
+	reads      int // gets per kernel run
+	period     sim.Duration
+}
+
+func (w *workerState) Receive(ctx *actor.Context, msg actor.Message) {
+	if msg.Method != "kernel" {
+		return
+	}
+	ctx.Use(w.kernelCost)
+	ctx.SetProp("reads", []actor.Ref{w.table})
+	for i := 0; i < w.reads; i++ {
+		ctx.Send(w.table, "get", i, 64)
+	}
+	ctx.Send(w.table, "put", w.idx, 64)
+	w.app.KernelRuns[w.idx]++
+	ctx.SendAfter(w.period, ctx.Self(), "kernel", nil, 16)
+}
+
+// Build deploys workers and their table partitions. kernelCost varies per
+// worker (±50% around base) so CPU load is uneven, exercising the balance
+// rule; workers and their tables are deliberately spawned on different
+// servers so the colocate rule has work to do.
+func Build(k *sim.Kernel, rt *actor.Runtime, servers []cluster.MachineID, workers int, baseCost sim.Duration) *App {
+	app := &App{RT: rt, KernelRuns: make([]int, workers)}
+	for i := 0; i < workers; i++ {
+		table := rt.SpawnOn("Table", &tableState{cells: map[int]int{}}, servers[(i+1)%len(servers)])
+		cost := baseCost + sim.Duration(i%3)*baseCost/2
+		w := rt.SpawnOn("Worker", &workerState{
+			app: app, idx: i, table: table,
+			kernelCost: cost, reads: 4, period: 50 * sim.Millisecond,
+		}, servers[i%len(servers)])
+		app.Tables = append(app.Tables, table)
+		app.Workers = append(app.Workers, w)
+	}
+	return app
+}
+
+// Start kicks every worker's kernel loop.
+func (app *App) Start(k *sim.Kernel, site cluster.MachineID) {
+	cl := actor.NewClient(app.RT, site)
+	for _, w := range app.Workers {
+		cl.Send(w, "kernel", nil, 16)
+	}
+}

@@ -1,0 +1,62 @@
+package piccolo
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+func TestPolicyChecksAgainstSchema(t *testing.T) {
+	pol := epl.MustParse(PolicySrc)
+	if _, err := epl.Check(pol, Schema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelsRunAndReadTables(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Medium)
+	rt := actor.NewRuntime(k, c)
+	_ = profile.New(k, c, rt)
+	app := Build(k, rt, []cluster.MachineID{0, 1}, 4, 2*sim.Millisecond)
+	app.Start(k, 0)
+	k.Run(sim.Time(2 * sim.Second))
+	for i, runs := range app.KernelRuns {
+		if runs == 0 {
+			t.Fatalf("worker %d never ran", i)
+		}
+	}
+}
+
+func TestElasticityColocatesWorkerWithTable(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 4, cluster.M1Medium)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := Build(k, rt, []cluster.MachineID{0, 1, 2, 3}, 6, 2*sim.Millisecond)
+	// Workers and tables start on different servers by construction.
+	split := 0
+	for i, w := range app.Workers {
+		if rt.ServerOf(w) != rt.ServerOf(app.Tables[i]) {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Fatal("test setup should start workers away from their tables")
+	}
+	mgr := emr.New(k, c, rt, prof, epl.MustParse(PolicySrc),
+		emr.Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	mgr.Start()
+	app.Start(k, 0)
+	k.Run(sim.Time(10 * sim.Second))
+	for i, w := range app.Workers {
+		if rt.ServerOf(w) != rt.ServerOf(app.Tables[i]) {
+			t.Fatalf("worker %d still away from its table", i)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package workload provides the client drivers and latency recorders shared
+// by the PLASMA example applications: closed-loop clients (send, wait for
+// the reply, think, repeat — how the paper's Metadata Server and E-Store
+// clients behave) and open-loop clients (fixed-rate fire-and-measure — how
+// Halo consoles send heartbeats).
+package workload
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/metrics"
+	"plasma/internal/sim"
+)
+
+// Recorder aggregates request latencies into a histogram and a time series
+// of per-bucket means (the paper's latency-over-time figures).
+type Recorder struct {
+	Bucket sim.Duration
+
+	Hist metrics.Histogram
+
+	curStart sim.Time
+	curSum   float64
+	curN     int
+	series   metrics.Series
+}
+
+// NewRecorder creates a recorder with the given time-bucket width.
+func NewRecorder(bucket sim.Duration) *Recorder {
+	return &Recorder{Bucket: bucket}
+}
+
+// Record adds one latency observation at virtual time now.
+func (r *Recorder) Record(now sim.Time, lat sim.Duration) {
+	ms := float64(lat) / float64(sim.Millisecond)
+	r.Hist.Observe(ms)
+	for now >= r.curStart+sim.Time(r.Bucket) {
+		r.flush()
+	}
+	r.curSum += ms
+	r.curN++
+}
+
+func (r *Recorder) flush() {
+	if r.curN > 0 {
+		r.series.Add(r.curStart.Seconds(), r.curSum/float64(r.curN))
+	}
+	r.curStart += sim.Time(r.Bucket)
+	r.curSum, r.curN = 0, 0
+}
+
+// Series returns the completed per-bucket mean latency series (seconds vs
+// milliseconds). The current partial bucket is flushed.
+func (r *Recorder) Series() *metrics.Series {
+	if r.curN > 0 {
+		r.series.Add(r.curStart.Seconds(), r.curSum/float64(r.curN))
+		r.curSum, r.curN = 0, 0
+	}
+	return &r.series
+}
+
+// Request describes one request a driver should issue.
+type Request struct {
+	Target actor.Ref
+	Method string
+	Arg    interface{}
+	Size   int64
+}
+
+// ClosedLoop is a client that keeps one request outstanding: it sends,
+// waits for the reply, records the latency, thinks, and repeats until
+// stopped.
+type ClosedLoop struct {
+	K      *sim.Kernel
+	Client *actor.Client
+	Think  sim.Duration
+	// Next picks the next request (called before every send).
+	Next func() Request
+	// Rec, when set, records request latencies.
+	Rec *Recorder
+	// OnReply, when set, observes every completed request.
+	OnReply func(lat sim.Duration)
+
+	stopped bool
+}
+
+// Start issues the first request.
+func (c *ClosedLoop) Start() { c.step() }
+
+// Stop ends the loop after the outstanding request completes.
+func (c *ClosedLoop) Stop() { c.stopped = true }
+
+func (c *ClosedLoop) step() {
+	if c.stopped {
+		return
+	}
+	req := c.Next()
+	if req.Target.Zero() {
+		c.K.After(c.Think, c.step)
+		return
+	}
+	c.Client.Request(req.Target, req.Method, req.Arg, req.Size, func(lat sim.Duration, _ interface{}) {
+		if c.Rec != nil {
+			c.Rec.Record(c.K.Now(), lat)
+		}
+		if c.OnReply != nil {
+			c.OnReply(lat)
+		}
+		c.K.After(c.Think, c.step)
+	})
+}
+
+// OpenLoop fires requests at a fixed interval regardless of completions,
+// recording each reply's latency.
+type OpenLoop struct {
+	K        *sim.Kernel
+	Client   *actor.Client
+	Interval sim.Duration
+	Next     func() Request
+	Rec      *Recorder
+	OnReply  func(lat sim.Duration)
+
+	stopped bool
+}
+
+// Start begins firing.
+func (o *OpenLoop) Start() {
+	o.K.Every(o.Interval, func() bool {
+		if o.stopped {
+			return false
+		}
+		req := o.Next()
+		if !req.Target.Zero() {
+			o.Client.Request(req.Target, req.Method, req.Arg, req.Size, func(lat sim.Duration, _ interface{}) {
+				if o.Rec != nil {
+					o.Rec.Record(o.K.Now(), lat)
+				}
+				if o.OnReply != nil {
+					o.OnReply(lat)
+				}
+			})
+		}
+		return true
+	})
+}
+
+// Stop ends the loop at the next firing.
+func (o *OpenLoop) Stop() { o.stopped = true }
+
+// SkewedPicker returns a function choosing index i with the given weights
+// (need not sum to 1), deterministically from the kernel's random stream.
+func SkewedPicker(k *sim.Kernel, weights []float64) func() int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	return func() int {
+		x := k.Rand().Float64()
+		for i, c := range cum {
+			if x <= c {
+				return i
+			}
+		}
+		return len(cum) - 1
+	}
+}
+
+// GeometricWeights returns E-Store's §5.5 request skew: the first element
+// takes frac of the total, the second frac of the remainder, and so on.
+func GeometricWeights(n int, frac float64) []float64 {
+	w := make([]float64, n)
+	remaining := 1.0
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			w[i] = remaining
+			break
+		}
+		w[i] = remaining * frac
+		remaining -= w[i]
+	}
+	return w
+}

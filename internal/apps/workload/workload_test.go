@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/sim"
+)
+
+func env() (*sim.Kernel, *actor.Runtime, actor.Ref) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	echo := actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(5 * sim.Millisecond)
+		ctx.Reply("ok", 32)
+	})
+	return k, rt, rt.SpawnOn("Echo", echo, 0)
+}
+
+func TestClosedLoopKeepsOneOutstanding(t *testing.T) {
+	k, rt, ref := env()
+	count := 0
+	loop := &ClosedLoop{
+		K: k, Client: actor.NewClient(rt, 1), Think: 10 * sim.Millisecond,
+		Next:    func() Request { return Request{Target: ref, Method: "m", Size: 8} },
+		OnReply: func(sim.Duration) { count++ },
+	}
+	loop.Start()
+	k.Run(sim.Time(200 * sim.Millisecond))
+	// Cycle = ~5ms processing + network + 10ms think: roughly 12 requests.
+	if count < 8 || count > 16 {
+		t.Fatalf("completions = %d, want ~12", count)
+	}
+	loop.Stop()
+	k.RunUntilIdle()
+	final := count
+	k.Run(k.Now() + sim.Time(100*sim.Millisecond))
+	if count != final {
+		t.Fatal("loop kept running after Stop")
+	}
+}
+
+func TestClosedLoopSkipsZeroTarget(t *testing.T) {
+	k, rt, ref := env()
+	calls := 0
+	loop := &ClosedLoop{
+		K: k, Client: actor.NewClient(rt, 1), Think: 10 * sim.Millisecond,
+		Next: func() Request {
+			calls++
+			if calls < 3 {
+				return Request{} // not ready yet
+			}
+			return Request{Target: ref, Method: "m", Size: 8}
+		},
+	}
+	loop.Start()
+	k.Run(sim.Time(100 * sim.Millisecond))
+	if calls < 3 {
+		t.Fatalf("Next called %d times; zero target should retry", calls)
+	}
+	loop.Stop()
+	k.RunUntilIdle()
+}
+
+func TestOpenLoopFiresAtRate(t *testing.T) {
+	k, rt, ref := env()
+	count := 0
+	loop := &OpenLoop{
+		K: k, Client: actor.NewClient(rt, 1), Interval: 20 * sim.Millisecond,
+		Next:    func() Request { return Request{Target: ref, Method: "m", Size: 8} },
+		OnReply: func(sim.Duration) { count++ },
+	}
+	loop.Start()
+	k.Run(sim.Time(sim.Second))
+	loop.Stop()
+	k.RunUntilIdle()
+	if count < 45 || count > 55 {
+		t.Fatalf("completions = %d, want ~50", count)
+	}
+}
+
+func TestRecorderBucketsAndHistogram(t *testing.T) {
+	r := NewRecorder(sim.Second)
+	r.Record(sim.Time(100*sim.Millisecond), 10*sim.Millisecond)
+	r.Record(sim.Time(200*sim.Millisecond), 20*sim.Millisecond)
+	r.Record(sim.Time(1500*sim.Millisecond), 40*sim.Millisecond)
+	s := r.Series()
+	if s.Len() != 2 {
+		t.Fatalf("buckets = %d, want 2", s.Len())
+	}
+	if math.Abs(s.Y[0]-15) > 1e-9 {
+		t.Fatalf("bucket 0 mean = %v, want 15", s.Y[0])
+	}
+	if math.Abs(s.Y[1]-40) > 1e-9 {
+		t.Fatalf("bucket 1 mean = %v, want 40", s.Y[1])
+	}
+	if r.Hist.Count() != 3 {
+		t.Fatalf("hist count = %d", r.Hist.Count())
+	}
+}
+
+func TestRecorderSkipsEmptyBuckets(t *testing.T) {
+	r := NewRecorder(sim.Second)
+	r.Record(sim.Time(100*sim.Millisecond), 10*sim.Millisecond)
+	r.Record(sim.Time(5500*sim.Millisecond), 30*sim.Millisecond)
+	s := r.Series()
+	if s.Len() != 2 {
+		t.Fatalf("buckets = %d, want 2 (empty ones skipped)", s.Len())
+	}
+	if s.X[1] != 5 {
+		t.Fatalf("second bucket at %v s, want 5", s.X[1])
+	}
+}
+
+func TestSkewedPickerDistribution(t *testing.T) {
+	k := sim.New(42)
+	pick := SkewedPicker(k, []float64{0.5, 0.25, 0.25})
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[pick()]++
+	}
+	if counts[0] < 4700 || counts[0] > 5300 {
+		t.Fatalf("hot index picked %d/10000, want ~5000", counts[0])
+	}
+	if counts[1]+counts[2] < 4700 {
+		t.Fatalf("cold indices %d, %d", counts[1], counts[2])
+	}
+}
+
+func TestGeometricWeightsSkew(t *testing.T) {
+	w := GeometricWeights(40, 0.35)
+	if len(w) != 40 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if math.Abs(w[0]-0.35) > 1e-9 {
+		t.Fatalf("w[0] = %v", w[0])
+	}
+	// Second takes 35% of the remaining 65%.
+	if math.Abs(w[1]-0.65*0.35) > 1e-9 {
+		t.Fatalf("w[1] = %v", w[1])
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+}

@@ -1,0 +1,121 @@
+// Package zexpander is the zExpander application of Table 1: a two-zone
+// key-value cache (after Wu et al., EuroSys'16) where a small fast Index
+// zone absorbs hot lookups and large compact Leaf actors hold the bulk of
+// the cached data in memory. Table 1's rule puts the memory-heavy leaf
+// nodes on idle servers (reserve on mem).
+package zexpander
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// PolicySrc is Table 1's zExpander policy.
+const PolicySrc = `
+server.mem.perc > 40 => reserve(Leaf(l), mem);
+`
+
+// Schema declares the application's actor classes.
+func Schema() *epl.Schema {
+	return epl.NewSchema(
+		epl.Class("Index", []string{"get", "set"}, []string{"leaves"}),
+		epl.Class("Leaf", []string{"fetch", "store"}, nil),
+	)
+}
+
+const (
+	indexCost = 30 * sim.Microsecond
+	leafCost  = 150 * sim.Microsecond
+	itemSize  = 1 << 10
+)
+
+// App is a deployed cache.
+type App struct {
+	RT     *actor.Runtime
+	Index  actor.Ref
+	Leaves []actor.Ref
+
+	Hits, Misses int
+}
+
+type indexState struct {
+	app    *App
+	hot    map[int]int // small zone-1 cache
+	leaves []actor.Ref
+}
+
+func (ix *indexState) Receive(ctx *actor.Context, msg actor.Message) {
+	key, _ := msg.Arg.(int)
+	switch msg.Method {
+	case "init":
+		ctx.SetProp("leaves", ix.leaves)
+		ctx.SetMemSize(4 << 20)
+	case "get":
+		ctx.Use(indexCost)
+		if v, ok := ix.hot[key]; ok {
+			ix.app.Hits++
+			ctx.Reply(v, itemSize)
+			return
+		}
+		ctx.Forward(ix.leafFor(key), "fetch", key, msg.Size)
+	case "set":
+		ctx.Use(indexCost)
+		ix.hot[key] = key
+		if len(ix.hot) > 64 {
+			// Evict: push the overflow down to the leaf zone.
+			for k := range ix.hot {
+				ctx.Send(ix.leafFor(k), "store", k, itemSize)
+				delete(ix.hot, k)
+				break
+			}
+		}
+		ctx.Reply(nil, 16)
+	}
+}
+
+func (ix *indexState) leafFor(key int) actor.Ref {
+	return ix.leaves[key%len(ix.leaves)]
+}
+
+type leafState struct {
+	app   *App
+	items map[int]int
+}
+
+func (lf *leafState) Receive(ctx *actor.Context, msg actor.Message) {
+	key, _ := msg.Arg.(int)
+	switch msg.Method {
+	case "fetch":
+		ctx.Use(leafCost)
+		if v, ok := lf.items[key]; ok {
+			lf.app.Hits++
+			ctx.Reply(v, itemSize)
+		} else {
+			lf.app.Misses++
+			ctx.Reply(nil, 16)
+		}
+	case "store":
+		ctx.Use(leafCost)
+		lf.items[key] = key
+		// Compact zone-2 storage dominates machine memory.
+		ctx.SetMemSize(int64(len(lf.items))*itemSize + (120 << 20))
+	}
+}
+
+// Build deploys one index and n leaf actors, all initially crowded on the
+// first server (the rule will spread leaves to idle machines).
+func Build(k *sim.Kernel, rt *actor.Runtime, first cluster.MachineID, leaves int) *App {
+	app := &App{RT: rt}
+	var leafRefs []actor.Ref
+	for i := 0; i < leaves; i++ {
+		lf := rt.SpawnOn("Leaf", &leafState{app: app, items: map[int]int{}}, first)
+		leafRefs = append(leafRefs, lf)
+	}
+	ix := &indexState{app: app, hot: map[int]int{}, leaves: leafRefs}
+	app.Index = rt.SpawnOn("Index", ix, first)
+	app.Leaves = leafRefs
+	actor.NewClient(rt, first).Send(app.Index, "init", 0, 1)
+	return app
+}

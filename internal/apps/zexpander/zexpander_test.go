@@ -1,0 +1,100 @@
+package zexpander
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+func TestPolicyChecksAgainstSchema(t *testing.T) {
+	pol := epl.MustParse(PolicySrc)
+	if _, err := epl.Check(pol, Schema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetSetThroughZones(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 2, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	_ = profile.New(k, c, rt)
+	app := Build(k, rt, 0, 4)
+	cl := actor.NewClient(rt, 1)
+	k.RunUntilIdle()
+
+	var setDone bool
+	cl.Request(app.Index, "set", 7, 64, func(sim.Duration, interface{}) { setDone = true })
+	k.RunUntilIdle()
+	if !setDone {
+		t.Fatal("set never acknowledged")
+	}
+	var got interface{}
+	cl.Request(app.Index, "get", 7, 64, func(_ sim.Duration, v interface{}) { got = v })
+	k.RunUntilIdle()
+	if got != 7 {
+		t.Fatalf("get returned %v", got)
+	}
+	if app.Hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestMissReturnsNil(t *testing.T) {
+	k := sim.New(1)
+	c := cluster.New(k, 1, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	_ = profile.New(k, c, rt)
+	app := Build(k, rt, 0, 2)
+	k.RunUntilIdle()
+	cl := actor.NewClient(rt, 0)
+	var got interface{} = 99
+	cl.Request(app.Index, "get", 12345, 64, func(_ sim.Duration, v interface{}) { got = v })
+	k.RunUntilIdle()
+	if got != nil {
+		t.Fatalf("miss returned %v", got)
+	}
+	if app.Misses == 0 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestReserveSpreadsMemoryHeavyLeaves(t *testing.T) {
+	k := sim.New(1)
+	// Small memory machines so leaf stores dominate.
+	typ := cluster.InstanceType{Name: "t", VCPUs: 1, MemMB: 512, NetMbps: 250, SpeedFac: 1}
+	c := cluster.New(k, 3, typ)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := Build(k, rt, 0, 2)
+	k.RunUntilIdle()
+
+	mgr := emr.New(k, c, rt, prof, epl.MustParse(PolicySrc),
+		emr.Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	mgr.Start()
+
+	cl := actor.NewClient(rt, 2)
+	i := 0
+	k.Every(2*sim.Millisecond, func() bool {
+		cl.Request(app.Index, "set", i, 64, nil)
+		cl.Request(app.Index, "get", i/2, 64, nil)
+		i++
+		return k.Now() < sim.Time(8*sim.Second)
+	})
+	k.Run(sim.Time(10 * sim.Second))
+
+	// The two leaves should end up on their own (reserved) servers, away
+	// from the index's original machine.
+	s0 := rt.ServerOf(app.Leaves[0])
+	s1 := rt.ServerOf(app.Leaves[1])
+	if s0 == 0 && s1 == 0 {
+		t.Fatal("leaves never left the crowded server")
+	}
+	if s0 == s1 {
+		t.Fatalf("both leaves on server %d; want dedicated servers", s0)
+	}
+}

@@ -1,0 +1,309 @@
+// Package baseline implements the non-PLASMA elasticity managers the paper
+// compares against:
+//
+//   - Orleans-style management (§2.1, §5.4): equalize the number of actors
+//     on each server, with optional colocation of actors that communicate
+//     frequently;
+//   - the "default rule" of §5.3 (Fig. 5): migrate actors with heavy
+//     workload to an idle server, without application knowledge;
+//   - the frequency-based colocation "default rule" of §5.7 (Fig. 11a):
+//     co-locate actors that frequently interact with one another.
+//
+// The Mizan-style per-superstep vertex migrator lives with the PageRank
+// application, since it operates below the actor level.
+package baseline
+
+import (
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Orleans equalizes actor counts across servers each period, mimicking the
+// paper's description of Orleans' elasticity management. When
+// ColocateFrequent is set it additionally migrates each period's most
+// chatty cross-server actor pair onto one server.
+type Orleans struct {
+	K    *sim.Kernel
+	RT   *actor.Runtime
+	C    *cluster.Cluster
+	Prof *profile.Profiler
+
+	Period           sim.Duration
+	ColocateFrequent bool
+	// Types restricts balancing to the listed actor types (nil = all).
+	Types map[string]bool
+
+	Migrations int
+	running    bool
+}
+
+// Start schedules periodic management.
+func (o *Orleans) Start() {
+	if o.running {
+		return
+	}
+	o.running = true
+	o.K.Every(o.Period, func() bool {
+		if !o.running {
+			return false
+		}
+		o.tick()
+		return true
+	})
+}
+
+// Stop halts management after the current period.
+func (o *Orleans) Stop() { o.running = false }
+
+func (o *Orleans) covers(typ string) bool {
+	return o.Types == nil || o.Types[typ]
+}
+
+func (o *Orleans) tick() {
+	up := o.C.UpMachines()
+	if len(up) < 2 {
+		return
+	}
+	// Count managed actors per server.
+	perSrv := map[cluster.MachineID][]actor.Ref{}
+	total := 0
+	for _, m := range up {
+		for _, ref := range o.RT.ActorsOn(m.ID) {
+			if o.covers(o.RT.TypeOf(ref)) {
+				perSrv[m.ID] = append(perSrv[m.ID], ref)
+				total++
+			}
+		}
+	}
+	target := total / len(up)
+	// Move surplus actors from over-count servers to under-count ones.
+	type srvCount struct {
+		id cluster.MachineID
+		n  int
+	}
+	var counts []srvCount
+	for _, m := range up {
+		counts = append(counts, srvCount{m.ID, len(perSrv[m.ID])})
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].n > counts[j].n })
+	for i := 0; i < len(counts); i++ {
+		src := &counts[i]
+		for src.n > target+1 {
+			dst := &counts[len(counts)-1]
+			for j := len(counts) - 1; j > i; j-- {
+				if counts[j].n < counts[len(counts)-1].n {
+					dst = &counts[j]
+				}
+			}
+			// Find the least-recently useful candidate: just the last one.
+			cands := perSrv[src.id]
+			moved := false
+			for len(cands) > 0 {
+				ref := cands[len(cands)-1]
+				cands = cands[:len(cands)-1]
+				if o.RT.Pinned(ref) {
+					continue
+				}
+				o.RT.Migrate(ref, dst.id, nil)
+				o.Migrations++
+				moved = true
+				break
+			}
+			perSrv[src.id] = cands
+			if !moved {
+				break
+			}
+			src.n--
+			dst.n++
+			sort.Slice(counts, func(i, j int) bool { return counts[i].n > counts[j].n })
+		}
+	}
+	if o.ColocateFrequent {
+		o.colocateChattiest()
+	}
+	o.Prof.Reset()
+}
+
+// colocateChattiest finds the cross-server (caller, callee) actor pair with
+// the highest message count this window and moves the caller to the callee.
+func (o *Orleans) colocateChattiest() {
+	snap := o.Prof.Snapshot(nil)
+	var bestCaller, bestCallee actor.Ref
+	var bestCount int64
+	for _, ai := range snap.Actors {
+		for _, cs := range ai.Calls {
+			if cs.Caller.Zero() {
+				continue
+			}
+			callerSrv := o.RT.ServerOf(cs.Caller)
+			if callerSrv < 0 || callerSrv == ai.Server {
+				continue
+			}
+			if cs.Count > bestCount {
+				bestCount = cs.Count
+				bestCaller, bestCallee = cs.Caller, ai.Ref
+			}
+		}
+	}
+	if bestCount > 0 && !o.RT.Pinned(bestCaller) {
+		o.RT.Migrate(bestCaller, o.RT.ServerOf(bestCallee), nil)
+		o.Migrations++
+	}
+}
+
+// HeavyMigrator is Fig. 5's def-rule: each period, migrate the actors with
+// the heaviest CPU usage from the busiest server to the idlest one —
+// without any application knowledge (so dependent actors stay behind).
+type HeavyMigrator struct {
+	K    *sim.Kernel
+	RT   *actor.Runtime
+	C    *cluster.Cluster
+	Prof *profile.Profiler
+
+	Period sim.Duration
+	// TriggerCPU is the busy-server threshold (percent).
+	TriggerCPU float64
+	// MoveCount caps migrations per period.
+	MoveCount int
+
+	Migrations int
+	running    bool
+}
+
+// Start schedules periodic management.
+func (h *HeavyMigrator) Start() {
+	if h.running {
+		return
+	}
+	h.running = true
+	if h.MoveCount == 0 {
+		h.MoveCount = 1
+	}
+	h.K.Every(h.Period, func() bool {
+		if !h.running {
+			return false
+		}
+		h.tick()
+		return true
+	})
+}
+
+// Stop halts management after the current period.
+func (h *HeavyMigrator) Stop() { h.running = false }
+
+func (h *HeavyMigrator) tick() {
+	snap := h.Prof.Snapshot(nil)
+	h.Prof.Reset()
+	if len(snap.Servers) < 2 {
+		return
+	}
+	busiest, idlest := snap.Servers[0], snap.Servers[0]
+	for _, s := range snap.Servers {
+		if s.CPUPerc > busiest.CPUPerc {
+			busiest = s
+		}
+		if s.CPUPerc < idlest.CPUPerc {
+			idlest = s
+		}
+	}
+	if busiest.CPUPerc < h.TriggerCPU || busiest.ID == idlest.ID {
+		return
+	}
+	var cands []*struct {
+		ref actor.Ref
+		cpu float64
+	}
+	for _, ai := range snap.Actors {
+		if ai.Server != busiest.ID || ai.Pinned {
+			continue
+		}
+		cands = append(cands, &struct {
+			ref actor.Ref
+			cpu float64
+		}{ai.Ref, ai.CPUPerc})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cpu > cands[j].cpu })
+	for i := 0; i < len(cands) && i < h.MoveCount; i++ {
+		h.RT.Migrate(cands[i].ref, idlest.ID, nil)
+		h.Migrations++
+	}
+}
+
+// FreqColocator is Fig. 11a's def-rule: each period, for each actor, find
+// the peer it exchanged the most messages with; if they sit on different
+// servers and the count exceeds Threshold, migrate the caller to the
+// callee's server. This is application-agnostic and can make poor choices
+// (e.g. chasing a router that briefly sprays one session).
+type FreqColocator struct {
+	K    *sim.Kernel
+	RT   *actor.Runtime
+	C    *cluster.Cluster
+	Prof *profile.Profiler
+
+	Period    sim.Duration
+	Threshold int64 // minimum per-window message count to act
+
+	Migrations int
+	running    bool
+}
+
+// Start schedules periodic management.
+func (f *FreqColocator) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.K.Every(f.Period, func() bool {
+		if !f.running {
+			return false
+		}
+		f.tick()
+		return true
+	})
+}
+
+// Stop halts management after the current period.
+func (f *FreqColocator) Stop() { f.running = false }
+
+func (f *FreqColocator) tick() {
+	snap := f.Prof.Snapshot(nil)
+	f.Prof.Reset()
+	// Strongest cross-server edge per caller.
+	type edge struct {
+		callee actor.Ref
+		count  int64
+	}
+	best := map[actor.Ref]edge{}
+	for _, ai := range snap.Actors {
+		for _, cs := range ai.Calls {
+			if cs.Caller.Zero() {
+				continue
+			}
+			if cs.Count > best[cs.Caller].count {
+				best[cs.Caller] = edge{callee: ai.Ref, count: cs.Count}
+			}
+		}
+	}
+	callers := make([]actor.Ref, 0, len(best))
+	for c := range best {
+		callers = append(callers, c)
+	}
+	sort.Slice(callers, func(i, j int) bool { return callers[i].ID < callers[j].ID })
+	for _, caller := range callers {
+		e := best[caller]
+		if e.count < f.Threshold {
+			continue
+		}
+		srcSrv := f.RT.ServerOf(caller)
+		dstSrv := f.RT.ServerOf(e.callee)
+		if srcSrv < 0 || dstSrv < 0 || srcSrv == dstSrv || f.RT.Pinned(caller) {
+			continue
+		}
+		f.RT.Migrate(caller, dstSrv, nil)
+		f.Migrations++
+	}
+}

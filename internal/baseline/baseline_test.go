@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+type env struct {
+	k    *sim.Kernel
+	c    *cluster.Cluster
+	rt   *actor.Runtime
+	prof *profile.Profiler
+}
+
+func newEnv(machines int) *env {
+	k := sim.New(1)
+	typ := cluster.InstanceType{Name: "t", VCPUs: 1, MemMB: 4096, NetMbps: 1000, SpeedFac: 1}
+	c := cluster.New(k, machines, typ)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	return &env{k, c, rt, prof}
+}
+
+func idle() actor.Behavior {
+	return actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {})
+}
+
+func TestOrleansEqualizesCounts(t *testing.T) {
+	e := newEnv(4)
+	for i := 0; i < 12; i++ {
+		e.rt.SpawnOn("A", idle(), 0)
+	}
+	o := &Orleans{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second}
+	o.Start()
+	e.k.Run(sim.Time(5 * sim.Second))
+	for i := 0; i < 4; i++ {
+		n := len(e.rt.ActorsOn(cluster.MachineID(i)))
+		if n < 2 || n > 4 {
+			t.Fatalf("server %d holds %d actors, want ~3", i, n)
+		}
+	}
+	if o.Migrations == 0 {
+		t.Fatal("no migrations")
+	}
+}
+
+func TestOrleansStableWhenEqual(t *testing.T) {
+	e := newEnv(2)
+	e.rt.SpawnOn("A", idle(), 0)
+	e.rt.SpawnOn("A", idle(), 0)
+	e.rt.SpawnOn("A", idle(), 1)
+	e.rt.SpawnOn("A", idle(), 1)
+	o := &Orleans{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second}
+	o.Start()
+	e.k.Run(sim.Time(5 * sim.Second))
+	if o.Migrations != 0 {
+		t.Fatalf("migrations on balanced counts: %d", o.Migrations)
+	}
+}
+
+func TestOrleansTypeFilter(t *testing.T) {
+	e := newEnv(2)
+	for i := 0; i < 6; i++ {
+		e.rt.SpawnOn("Managed", idle(), 0)
+	}
+	for i := 0; i < 6; i++ {
+		e.rt.SpawnOn("Unmanaged", idle(), 0)
+	}
+	o := &Orleans{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second,
+		Types: map[string]bool{"Managed": true}}
+	o.Start()
+	e.k.Run(sim.Time(5 * sim.Second))
+	// Unmanaged actors stay put.
+	unmanagedOn0 := 0
+	for _, ref := range e.rt.ActorsOn(0) {
+		if e.rt.TypeOf(ref) == "Unmanaged" {
+			unmanagedOn0++
+		}
+	}
+	if unmanagedOn0 != 6 {
+		t.Fatalf("unmanaged actors moved: %d left on server 0", unmanagedOn0)
+	}
+}
+
+func TestOrleansColocatesChattiestPair(t *testing.T) {
+	e := newEnv(2)
+	callee := e.rt.SpawnOn("B", idle(), 1)
+	caller := e.rt.SpawnOn("A", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(sim.Millisecond)
+		ctx.Send(callee, "chat", nil, 32)
+		ctx.SendAfter(10*sim.Millisecond, ctx.Self(), "again", nil, 8)
+	}), 0)
+	// Equal counts on both servers so count balancing is a no-op.
+	e.rt.SpawnOn("Filler", idle(), 1)
+	actor.NewClient(e.rt, 0).Send(caller, "again", nil, 8)
+	o := &Orleans{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second, ColocateFrequent: true}
+	o.Start()
+	e.k.Run(sim.Time(3 * sim.Second))
+	if e.rt.ServerOf(caller) != e.rt.ServerOf(callee) {
+		t.Fatalf("chatty pair not colocated: %d vs %d", e.rt.ServerOf(caller), e.rt.ServerOf(callee))
+	}
+}
+
+func TestHeavyMigratorMovesHotActor(t *testing.T) {
+	e := newEnv(2)
+	hot := e.rt.SpawnOn("H", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(60 * sim.Millisecond)
+		ctx.SendAfter(10*sim.Millisecond, ctx.Self(), "w", nil, 8)
+	}), 0)
+	cold := e.rt.SpawnOn("C", idle(), 0)
+	actor.NewClient(e.rt, 0).Send(hot, "w", nil, 8)
+	h := &HeavyMigrator{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second, TriggerCPU: 50}
+	h.Start()
+	e.k.Run(sim.Time(4 * sim.Second))
+	if e.rt.ServerOf(hot) != 1 {
+		t.Fatalf("hot actor on %d, want idle server 1", e.rt.ServerOf(hot))
+	}
+	if e.rt.ServerOf(cold) != 0 {
+		t.Fatal("cold actor moved")
+	}
+}
+
+func TestHeavyMigratorQuietBelowTrigger(t *testing.T) {
+	e := newEnv(2)
+	warm := e.rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(10 * sim.Millisecond)
+		ctx.SendAfter(90*sim.Millisecond, ctx.Self(), "w", nil, 8)
+	}), 0)
+	actor.NewClient(e.rt, 0).Send(warm, "w", nil, 8)
+	h := &HeavyMigrator{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second, TriggerCPU: 50}
+	h.Start()
+	e.k.Run(sim.Time(4 * sim.Second))
+	if h.Migrations != 0 {
+		t.Fatalf("migrations below trigger: %d", h.Migrations)
+	}
+}
+
+func TestFreqColocatorChasesHeaviestEdge(t *testing.T) {
+	e := newEnv(3)
+	session := e.rt.SpawnOn("Session", idle(), 2)
+	other := e.rt.SpawnOn("Session", idle(), 1)
+	player := e.rt.SpawnOn("Player", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(sim.Millisecond)
+		// Heavy traffic to session, light to other.
+		ctx.Send(session, "hb", nil, 16)
+		if ctx.Now()%3 == 0 {
+			ctx.Send(other, "hb", nil, 16)
+		}
+		ctx.SendAfter(20*sim.Millisecond, ctx.Self(), "tick", nil, 8)
+	}), 0)
+	actor.NewClient(e.rt, 0).Send(player, "tick", nil, 8)
+	f := &FreqColocator{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second, Threshold: 5}
+	f.Start()
+	e.k.Run(sim.Time(3 * sim.Second))
+	if e.rt.ServerOf(player) != 2 {
+		t.Fatalf("player on %d, want chattiest peer's server 2", e.rt.ServerOf(player))
+	}
+}
+
+func TestFreqColocatorRespectsThreshold(t *testing.T) {
+	e := newEnv(2)
+	callee := e.rt.SpawnOn("B", idle(), 1)
+	caller := e.rt.SpawnOn("A", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Send(callee, "rare", nil, 8)
+	}), 0)
+	actor.NewClient(e.rt, 0).Send(caller, "go", nil, 8)
+	f := &FreqColocator{K: e.k, RT: e.rt, C: e.c, Prof: e.prof, Period: sim.Second, Threshold: 100}
+	f.Start()
+	e.k.Run(sim.Time(3 * sim.Second))
+	if f.Migrations != 0 {
+		t.Fatalf("migrated below threshold: %d", f.Migrations)
+	}
+}

@@ -1,0 +1,338 @@
+// Package cluster models a cloud cluster for PLASMA's experiments: machines
+// with a fixed number of virtual CPUs, memory, and NIC bandwidth, plus a
+// provisioner that adds and removes machines with a boot delay (the paper
+// uses the AWS Instance Scheduler for the same purpose).
+//
+// CPU is modeled as vCPU "cores" that each execute one work item at a time;
+// pending work queues FIFO. This makes server CPU utilization an emergent,
+// truthful signal for the elasticity profiling runtime, which is what all of
+// the paper's resource elasticity rules key on.
+package cluster
+
+import (
+	"fmt"
+
+	"plasma/internal/sim"
+)
+
+// InstanceType describes a machine flavor, mirroring the AWS instance types
+// used in the paper's evaluation.
+type InstanceType struct {
+	Name     string
+	VCPUs    int
+	MemMB    int64
+	NetMbps  float64      // NIC bandwidth
+	Boot     sim.Duration // provisioning delay before the machine is usable
+	SpeedFac float64      // relative per-core speed (1.0 = baseline); work cost is divided by this
+}
+
+// Instance types approximating the paper's testbed. Absolute speeds are
+// arbitrary; ratios (small vs medium vs large) match AWS's published specs
+// closely enough to preserve the experiments' shapes.
+var (
+	M1Small  = InstanceType{Name: "m1.small", VCPUs: 1, MemMB: 1700, NetMbps: 250, Boot: 45 * sim.Second, SpeedFac: 1.0}
+	M1Medium = InstanceType{Name: "m1.medium", VCPUs: 1, MemMB: 3750, NetMbps: 500, Boot: 45 * sim.Second, SpeedFac: 2.0}
+	M5Large  = InstanceType{Name: "m5.large", VCPUs: 2, MemMB: 8192, NetMbps: 10000, Boot: 30 * sim.Second, SpeedFac: 4.0}
+)
+
+// MachineID identifies a machine within its cluster.
+type MachineID int
+
+// work is one CPU task occupying a core for its cost.
+type work struct {
+	cost  sim.Duration
+	start sim.Time
+	done  func()
+}
+
+// Machine is a simulated server.
+type Machine struct {
+	ID   MachineID
+	Type InstanceType
+
+	k      *sim.Kernel
+	up     bool
+	failed bool
+
+	active []*work // currently running, len <= VCPUs
+	queue  []*work // waiting for a core
+
+	windowStart sim.Time
+	busyWindow  sim.Duration // completed core-busy time since windowStart
+	netBytes    int64        // NIC bytes since windowStart
+	memUsed     int64        // bytes currently attributed to this machine
+}
+
+// Up reports whether the machine has finished booting and is usable.
+func (m *Machine) Up() bool { return m.up && !m.failed }
+
+// Failed reports whether the machine has crashed.
+func (m *Machine) Failed() bool { return m.failed }
+
+// ScaledCost converts a baseline CPU cost into this machine's actual
+// execution (core-occupancy) time.
+func (m *Machine) ScaledCost(cost sim.Duration) sim.Duration {
+	if cost <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(cost) / m.Type.SpeedFac)
+}
+
+// Exec schedules a CPU task costing cost (at baseline speed) and calls done
+// when it completes. Cost is scaled by the machine's per-core speed. Work
+// submitted to a failed machine is silently dropped (it crashed).
+func (m *Machine) Exec(cost sim.Duration, done func()) {
+	if m.failed {
+		return
+	}
+	w := &work{cost: m.ScaledCost(cost), done: done}
+	if len(m.active) < m.Type.VCPUs {
+		m.start(w)
+	} else {
+		m.queue = append(m.queue, w)
+	}
+}
+
+func (m *Machine) start(w *work) {
+	w.start = m.k.Now()
+	m.active = append(m.active, w)
+	m.k.After(w.cost, func() { m.complete(w) })
+}
+
+func (m *Machine) complete(w *work) {
+	if m.failed {
+		return // the machine crashed while this work was in flight
+	}
+	for i, a := range m.active {
+		if a == w {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.busyWindow += sim.Duration(m.k.Now() - w.start)
+	if len(m.queue) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		m.start(next)
+	}
+	if w.done != nil {
+		w.done()
+	}
+}
+
+// QueueLen reports the number of CPU tasks waiting for a core.
+func (m *Machine) QueueLen() int { return len(m.queue) }
+
+// Busy reports the number of cores currently executing work.
+func (m *Machine) Busy() int { return len(m.active) }
+
+// AddNetBytes accounts NIC traffic against the current window.
+func (m *Machine) AddNetBytes(n int64) { m.netBytes += n }
+
+// AddMem adjusts the machine's resident memory attribution (may be negative).
+func (m *Machine) AddMem(delta int64) {
+	m.memUsed += delta
+	if m.memUsed < 0 {
+		m.memUsed = 0
+	}
+}
+
+// MemUsed reports resident bytes.
+func (m *Machine) MemUsed() int64 { return m.memUsed }
+
+// CPUPercent reports core utilization (0-100) since the window started,
+// including partially complete in-flight work.
+func (m *Machine) CPUPercent() float64 {
+	elapsed := m.k.Now() - m.windowStart
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := m.busyWindow
+	for _, w := range m.active {
+		s := w.start
+		if s < m.windowStart {
+			s = m.windowStart
+		}
+		busy += sim.Duration(m.k.Now() - s)
+	}
+	return float64(busy) / (float64(elapsed) * float64(m.Type.VCPUs)) * 100
+}
+
+// NetPercent reports NIC utilization (0-100) since the window started.
+func (m *Machine) NetPercent() float64 {
+	elapsedSec := (m.k.Now() - m.windowStart).Seconds()
+	if elapsedSec <= 0 {
+		return 0
+	}
+	mbps := float64(m.netBytes) * 8 / 1e6 / elapsedSec
+	return mbps / m.Type.NetMbps * 100
+}
+
+// MemPercent reports memory utilization (0-100).
+func (m *Machine) MemPercent() float64 {
+	return float64(m.memUsed) / float64(m.Type.MemMB*1024*1024) * 100
+}
+
+// ResetWindow starts a fresh accounting window at the current instant.
+// In-flight work is credited up to now and continues into the new window.
+func (m *Machine) ResetWindow() {
+	now := m.k.Now()
+	for _, w := range m.active {
+		// In-flight time up to now belongs to the closed window; the work
+		// restarts its accounting in the new one.
+		w.start = now
+	}
+	m.windowStart = now
+	m.busyWindow = 0
+	m.netBytes = 0
+}
+
+// Cluster manages the machine fleet.
+type Cluster struct {
+	K *sim.Kernel
+
+	machines []*Machine
+	maxSize  int
+
+	// BaseLatency is the one-way network latency between two machines,
+	// before the size-proportional transfer term.
+	BaseLatency sim.Duration
+
+	provisions    int // total Provision calls, for experiment accounting
+	decommissions int
+}
+
+// New creates a cluster with n machines of the given type, already booted.
+func New(k *sim.Kernel, n int, typ InstanceType) *Cluster {
+	c := &Cluster{K: k, maxSize: 1 << 20, BaseLatency: sim.Millis(0.5)}
+	for i := 0; i < n; i++ {
+		m := c.newMachine(typ)
+		m.up = true
+	}
+	return c
+}
+
+// SetMaxSize caps the fleet size for Provision (the paper's Media Service
+// scales "up to 65 instances").
+func (c *Cluster) SetMaxSize(n int) { c.maxSize = n }
+
+func (c *Cluster) newMachine(typ InstanceType) *Machine {
+	m := &Machine{ID: MachineID(len(c.machines)), Type: typ, k: c.K, windowStart: c.K.Now()}
+	c.machines = append(c.machines, m)
+	return m
+}
+
+// Provision boots a new machine of the given type. The machine is returned
+// immediately but only becomes Up after the type's boot delay; onUp (if
+// non-nil) fires at that point. Returns nil if the fleet is at its cap.
+func (c *Cluster) Provision(typ InstanceType, onUp func(*Machine)) *Machine {
+	if c.UpCount() >= c.maxSize {
+		return nil
+	}
+	m := c.newMachine(typ)
+	c.provisions++
+	c.K.After(typ.Boot, func() {
+		m.up = true
+		if onUp != nil {
+			onUp(m)
+		}
+	})
+	return m
+}
+
+// Fail crashes a machine: it leaves service immediately, in-flight and
+// queued work is lost, and nothing can execute on it until the experiment
+// explicitly repairs it with Repair. Returns false for unknown/down ids.
+func (c *Cluster) Fail(id MachineID) bool {
+	m := c.Machine(id)
+	if m == nil || !m.Up() {
+		return false
+	}
+	m.failed = true
+	m.active = nil
+	m.queue = nil
+	return true
+}
+
+// Repair returns a failed machine to service with empty run queues and a
+// fresh accounting window.
+func (c *Cluster) Repair(id MachineID) bool {
+	m := c.Machine(id)
+	if m == nil || !m.failed {
+		return false
+	}
+	m.failed = false
+	m.memUsed = 0
+	m.ResetWindow()
+	return true
+}
+
+// Decommission removes a machine from service. The caller is responsible
+// for having evacuated it first.
+func (c *Cluster) Decommission(id MachineID) error {
+	m := c.Machine(id)
+	if m == nil {
+		return fmt.Errorf("cluster: no machine %d", id)
+	}
+	if !m.up {
+		return fmt.Errorf("cluster: machine %d is not up", id)
+	}
+	m.up = false
+	c.decommissions++
+	return nil
+}
+
+// Machine returns the machine with the given id, or nil.
+func (c *Cluster) Machine(id MachineID) *Machine {
+	if int(id) < 0 || int(id) >= len(c.machines) {
+		return nil
+	}
+	return c.machines[id]
+}
+
+// Machines returns all machines ever created (including down ones).
+func (c *Cluster) Machines() []*Machine { return c.machines }
+
+// UpMachines returns the machines currently in service, in id order.
+func (c *Cluster) UpMachines() []*Machine {
+	var up []*Machine
+	for _, m := range c.machines {
+		if m.Up() {
+			up = append(up, m)
+		}
+	}
+	return up
+}
+
+// UpCount reports the number of machines in service.
+func (c *Cluster) UpCount() int {
+	n := 0
+	for _, m := range c.machines {
+		if m.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// Provisions reports the number of Provision calls so far.
+func (c *Cluster) Provisions() int { return c.provisions }
+
+// Decommissions reports the number of Decommission calls so far.
+func (c *Cluster) Decommissions() int { return c.decommissions }
+
+// TransferLatency is the one-way latency for moving size bytes from src to
+// dst: base latency plus a bandwidth term at the slower NIC's rate. Local
+// delivery (src == dst) is free.
+func (c *Cluster) TransferLatency(src, dst MachineID, size int64) sim.Duration {
+	if src == dst {
+		return 0
+	}
+	srcM, dstM := c.Machine(src), c.Machine(dst)
+	mbps := srcM.Type.NetMbps
+	if dstM.Type.NetMbps < mbps {
+		mbps = dstM.Type.NetMbps
+	}
+	transfer := sim.Duration(float64(size) * 8 / mbps) // bytes*8 bits / (Mbps = bits/µs)
+	return c.BaseLatency + transfer
+}

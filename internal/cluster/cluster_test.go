@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plasma/internal/sim"
+)
+
+func newTestMachine(k *sim.Kernel, vcpus int) *Machine {
+	typ := InstanceType{Name: "test", VCPUs: vcpus, MemMB: 1024, NetMbps: 100, SpeedFac: 1.0}
+	c := New(k, 1, typ)
+	return c.UpMachines()[0]
+}
+
+func TestExecCompletesAfterCost(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1)
+	var doneAt sim.Time
+	m.Exec(10*sim.Millisecond, func() { doneAt = k.Now() })
+	k.RunUntilIdle()
+	if doneAt != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("done at %d, want 10ms", doneAt)
+	}
+}
+
+func TestSingleCoreSerializesWork(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1)
+	var order []int
+	m.Exec(10*sim.Millisecond, func() { order = append(order, 1) })
+	m.Exec(10*sim.Millisecond, func() { order = append(order, 2) })
+	if m.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want 1", m.QueueLen())
+	}
+	k.RunUntilIdle()
+	if k.Now() != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("finished at %v, want 20ms (serialized)", k.Now())
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("completion order %v", order)
+	}
+}
+
+func TestTwoCoresRunInParallel(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 2)
+	done := 0
+	m.Exec(10*sim.Millisecond, func() { done++ })
+	m.Exec(10*sim.Millisecond, func() { done++ })
+	k.RunUntilIdle()
+	if k.Now() != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("finished at %v, want 10ms (parallel)", k.Now())
+	}
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestSpeedFactorScalesCost(t *testing.T) {
+	k := sim.New(1)
+	typ := InstanceType{Name: "fast", VCPUs: 1, MemMB: 1024, NetMbps: 100, SpeedFac: 2.0}
+	c := New(k, 1, typ)
+	m := c.UpMachines()[0]
+	m.Exec(10*sim.Millisecond, nil)
+	k.RunUntilIdle()
+	if k.Now() != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("finished at %v, want 5ms on 2x machine", k.Now())
+	}
+}
+
+func TestCPUPercentFullyBusy(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1)
+	m.Exec(sim.Second, nil)
+	k.Run(sim.Time(500 * sim.Millisecond))
+	if got := m.CPUPercent(); math.Abs(got-100) > 0.5 {
+		t.Fatalf("CPU%% = %v, want ~100 (in-flight work counted)", got)
+	}
+	k.RunUntilIdle()
+	if got := m.CPUPercent(); math.Abs(got-100) > 0.5 {
+		t.Fatalf("CPU%% after completion = %v, want ~100", got)
+	}
+}
+
+func TestCPUPercentHalfBusyTwoCores(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 2)
+	m.Exec(sim.Second, nil)
+	k.Run(sim.Time(sim.Second))
+	k.RunUntilIdle()
+	if got := m.CPUPercent(); math.Abs(got-50) > 1 {
+		t.Fatalf("CPU%% = %v, want ~50 (1 of 2 cores busy)", got)
+	}
+}
+
+func TestResetWindowClearsUtilization(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1)
+	m.Exec(sim.Second, nil)
+	k.RunUntilIdle()
+	m.ResetWindow()
+	k.Run(k.Now() + sim.Time(sim.Second))
+	if got := m.CPUPercent(); got != 0 {
+		t.Fatalf("CPU%% after reset+idle = %v, want 0", got)
+	}
+}
+
+func TestResetWindowStraddlingWork(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1)
+	m.Exec(2*sim.Second, nil)
+	k.Run(sim.Time(sim.Second))
+	m.ResetWindow()
+	k.RunUntilIdle() // work completes at t=2s, 1s inside the new window
+	k.Run(k.Now() + sim.Time(sim.Second))
+	// New window spans [1s, 3s] with 1s of busy -> 50%.
+	if got := m.CPUPercent(); math.Abs(got-50) > 1 {
+		t.Fatalf("CPU%% = %v, want ~50", got)
+	}
+}
+
+func TestNetPercent(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1) // 100 Mbps
+	// 100 Mbps over 1s = 12.5 MB; send 6.25 MB -> 50%.
+	m.AddNetBytes(6_250_000)
+	k.Run(sim.Time(sim.Second))
+	if got := m.NetPercent(); math.Abs(got-50) > 1 {
+		t.Fatalf("net%% = %v, want ~50", got)
+	}
+}
+
+func TestMemAccounting(t *testing.T) {
+	k := sim.New(1)
+	m := newTestMachine(k, 1) // 1024 MB
+	m.AddMem(512 * 1024 * 1024)
+	if got := m.MemPercent(); math.Abs(got-50) > 0.01 {
+		t.Fatalf("mem%% = %v, want 50", got)
+	}
+	m.AddMem(-600 * 1024 * 1024)
+	if m.MemUsed() != 0 {
+		t.Fatalf("mem clamped to %d, want 0", m.MemUsed())
+	}
+}
+
+func TestProvisionBootDelay(t *testing.T) {
+	k := sim.New(1)
+	typ := InstanceType{Name: "t", VCPUs: 1, MemMB: 1024, NetMbps: 100, Boot: 30 * sim.Second, SpeedFac: 1}
+	c := New(k, 1, typ)
+	var upAt sim.Time = -1
+	m := c.Provision(typ, func(*Machine) { upAt = k.Now() })
+	if m.Up() {
+		t.Fatal("machine up before boot delay")
+	}
+	if c.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1 during boot", c.UpCount())
+	}
+	k.RunUntilIdle()
+	if !m.Up() || upAt != sim.Time(30*sim.Second) {
+		t.Fatalf("up=%v upAt=%v, want up at 30s", m.Up(), upAt)
+	}
+	if c.Provisions() != 1 {
+		t.Fatalf("Provisions = %d", c.Provisions())
+	}
+}
+
+func TestProvisionRespectsMaxSize(t *testing.T) {
+	k := sim.New(1)
+	c := New(k, 2, M1Small)
+	c.SetMaxSize(2)
+	if m := c.Provision(M1Small, nil); m != nil {
+		t.Fatal("Provision exceeded max size")
+	}
+}
+
+func TestDecommission(t *testing.T) {
+	k := sim.New(1)
+	c := New(k, 2, M1Small)
+	if err := c.Decommission(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", c.UpCount())
+	}
+	if err := c.Decommission(0); err == nil {
+		t.Fatal("double decommission should fail")
+	}
+	if err := c.Decommission(99); err == nil {
+		t.Fatal("unknown machine should fail")
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	k := sim.New(1)
+	c := New(k, 2, M1Small) // 250 Mbps
+	if got := c.TransferLatency(0, 0, 1e6); got != 0 {
+		t.Fatalf("local transfer latency = %v, want 0", got)
+	}
+	// 1 MB over 250 Mbps = 8e6 bits / 250 bits/µs = 32000 µs, + 500 µs base.
+	want := sim.Duration(32000) + c.BaseLatency
+	if got := c.TransferLatency(0, 1, 1e6); got != want {
+		t.Fatalf("transfer latency = %v, want %v", got, want)
+	}
+}
+
+func TestTransferLatencyUsesSlowerNIC(t *testing.T) {
+	k := sim.New(1)
+	c := New(k, 1, M1Small)
+	c.Provision(M5Large, nil)
+	k.RunUntilIdle()
+	// m1.small's 250 Mbps should bound the m5.large's 10 Gbps.
+	lat := c.TransferLatency(0, 1, 1e6) - c.BaseLatency
+	want := sim.Duration(1e6 * 8 / 250)
+	if lat != want {
+		t.Fatalf("transfer term = %v, want %v", lat, want)
+	}
+}
+
+// Property: CPUPercent stays within [0, 100] under arbitrary workloads.
+func TestPropertyCPUPercentBounded(t *testing.T) {
+	f := func(costs []uint16, vcpus8 uint8) bool {
+		vcpus := int(vcpus8%4) + 1
+		k := sim.New(11)
+		m := newTestMachine(k, vcpus)
+		for _, c := range costs {
+			m.Exec(sim.Duration(c)*sim.Millisecond, nil)
+		}
+		ok := true
+		k.Every(100*sim.Millisecond, func() bool {
+			p := m.CPUPercent()
+			if p < 0 || p > 100.0001 {
+				ok = false
+			}
+			return k.Pending() > 1
+		})
+		k.RunUntilIdle()
+		return ok && m.CPUPercent() <= 100.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy time equals total submitted cost once idle (single
+// window, no resets).
+func TestPropertyBusyConservation(t *testing.T) {
+	f := func(costs []uint16) bool {
+		k := sim.New(13)
+		m := newTestMachine(k, 2)
+		var total sim.Duration
+		for _, c := range costs {
+			d := sim.Duration(c) * sim.Microsecond
+			total += d
+			m.Exec(d, nil)
+		}
+		k.RunUntilIdle()
+		if k.Now() == 0 {
+			return total == 0
+		}
+		busy := sim.Duration(float64(m.CPUPercent()) / 100 * float64(k.Now()) * float64(m.Type.VCPUs))
+		diff := busy - total
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= sim.Duration(len(costs)+1) // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package core is PLASMA's public facade: it wires an application's actor
+// program, its EPL elasticity policy, the profiling runtime (EPR), and the
+// elasticity management runtime (EMR) over a simulated cluster, exposing
+// the paper's programming model as one System value.
+//
+// Typical use:
+//
+//	sys, err := core.NewSystem(core.Options{
+//	    Policy:   `server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`,
+//	    Machines: 8,
+//	})
+//	...
+//	w := sys.Runtime.SpawnOn("Worker", myBehavior, 0)
+//	sys.Start()
+//	sys.Run(5 * sim.Minute)
+package core
+
+import (
+	"fmt"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Options configures a System.
+type Options struct {
+	// Policy is EPL source (required).
+	Policy string
+	// Schema optionally declares the application's actor classes for
+	// semantic checking of the policy.
+	Schema *epl.Schema
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Machines is the initial fleet size (default 4).
+	Machines int
+	// Instance is the machine flavor (default cluster.M1Small).
+	Instance cluster.InstanceType
+	// EMR tunes the elasticity management runtime.
+	EMR emr.Config
+}
+
+// System bundles one PLASMA deployment: simulator, cluster, actor runtime,
+// profiler, compiled policy, and elasticity manager.
+type System struct {
+	Kernel   *sim.Kernel
+	Cluster  *cluster.Cluster
+	Runtime  *actor.Runtime
+	Profiler *profile.Profiler
+	Policy   *epl.Policy
+	Manager  *emr.Manager
+
+	// Warnings holds the policy compiler's conflict diagnostics (§4.3).
+	Warnings []epl.Warning
+}
+
+// NewSystem compiles the policy, checks it against the schema, and builds
+// the full stack. The elasticity manager is created but not started; spawn
+// your actors, then call Start.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Policy == "" {
+		return nil, fmt.Errorf("core: empty policy")
+	}
+	pol, err := epl.Parse(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	warns, err := epl.Check(pol, opts.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Machines == 0 {
+		opts.Machines = 4
+	}
+	if opts.Instance.Name == "" {
+		opts.Instance = cluster.M1Small
+	}
+	if opts.EMR.InstanceType.Name == "" {
+		opts.EMR.InstanceType = opts.Instance
+	}
+
+	k := sim.New(opts.Seed)
+	c := cluster.New(k, opts.Machines, opts.Instance)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	mgr := emr.New(k, c, rt, prof, pol, opts.EMR)
+	return &System{
+		Kernel:   k,
+		Cluster:  c,
+		Runtime:  rt,
+		Profiler: prof,
+		Policy:   pol,
+		Manager:  mgr,
+		Warnings: warns,
+	}, nil
+}
+
+// Start begins elasticity management.
+func (s *System) Start() { s.Manager.Start() }
+
+// Stop halts elasticity management.
+func (s *System) Stop() { s.Manager.Stop() }
+
+// Run advances virtual time by d.
+func (s *System) Run(d sim.Duration) {
+	s.Kernel.Run(s.Kernel.Now() + sim.Time(d))
+}
+
+// Client returns a request driver homed on the given machine.
+func (s *System) Client(site cluster.MachineID) *actor.Client {
+	return actor.NewClient(s.Runtime, site)
+}

@@ -1,0 +1,599 @@
+// Package emr implements PLASMA's elasticity management runtime (EMR): the
+// elasticity execution runtime of §4, organised as per-server local
+// elasticity managers (LEMs, Alg. 1) and a configurable number of global
+// elasticity managers (GEMs, Alg. 2).
+//
+// Every elasticity period:
+//
+//  1. each LEM evaluates the interaction elasticity rules against its local
+//     profiling snapshot (applyActRules) and REPORTs resource-rule actor and
+//     server runtime info to a randomly chosen GEM;
+//  2. each GEM that received more than K reports builds a global runtime
+//     snapshot over its reporting servers, evaluates the resource elasticity
+//     rules (applyResRules), and RREPLYs migration actions to the LEMs;
+//  3. LEMs resolve conflicting actions by priority (resolveActions), QUERY
+//     the target server's LEM for admission (checkIdleRes), and migrate on
+//     QREPLY via the actor runtime's live migration.
+//
+// GEMs also drive cluster scale-out/in: when all of a GEM's managed servers
+// are overloaded (resp. under-utilized) it polls the other GEMs and adjusts
+// the number of servers on a majority of corroborating views.
+package emr
+
+import (
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Action is a planned actor migration (Table 2b).
+type Action struct {
+	Actor   actor.Ref
+	Src     cluster.MachineID // server currently holding the actor
+	Trg     cluster.MachineID // target server
+	Kind    epl.BehaviorKind
+	Res     epl.Resource // resource the action is accounted against
+	Pri     int
+	Partner actor.Ref // colocation partner / reservation owner at the target
+}
+
+// Config tunes the EMR.
+type Config struct {
+	// Period is the elasticity time period (user-set, §2.2).
+	Period sim.Duration
+	// NumGEMs is the number of global elasticity managers (§5.7).
+	NumGEMs int
+	// K is the report-count threshold before a GEM acts (Alg. 2 line 8).
+	K int
+	// MinResidence is the minimum time an actor must stay on a server
+	// before it may move again; 0 defaults to Period (§4.3 stability).
+	MinResidence sim.Duration
+	// GEMLatency models one LEM<->GEM message hop.
+	GEMLatency sim.Duration
+	// ScaleOut/ScaleIn enable dynamic resource allocation.
+	ScaleOut bool
+	ScaleIn  bool
+	// MinServers bounds scale-in; InstanceType is what scale-out provisions.
+	MinServers   int
+	InstanceType cluster.InstanceType
+	// DefaultUpper is the admission bound used when a rule states no upper
+	// threshold.
+	DefaultUpper float64
+	// Priorities orders conflicting actions; higher wins. Zero value uses
+	// the defaults (reserve > pin > balance > colocate > separate: reserve
+	// is the most specific placement demand, pin blocks everything below
+	// it, and balance outranks colocate as in the paper's §4.3 example).
+	Priorities map[epl.BehaviorKind]int
+}
+
+func (c Config) priority(k epl.BehaviorKind) int {
+	if c.Priorities != nil {
+		if p, ok := c.Priorities[k]; ok {
+			return p
+		}
+	}
+	switch k {
+	case epl.KindReserve:
+		return 45
+	case epl.KindPin:
+		return 42
+	case epl.KindBalance:
+		return 40
+	case epl.KindColocate:
+		return 20
+	case epl.KindSeparate:
+		return 10
+	}
+	return 0
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period == 0 {
+		c.Period = 60 * sim.Second
+	}
+	if c.NumGEMs <= 0 {
+		c.NumGEMs = 1
+	}
+	if c.MinResidence == 0 {
+		c.MinResidence = c.Period
+	}
+	if c.GEMLatency == 0 {
+		c.GEMLatency = sim.Millis(1)
+	}
+	if c.MinServers <= 0 {
+		c.MinServers = 1
+	}
+	if c.DefaultUpper == 0 {
+		c.DefaultUpper = 85
+	}
+	return c
+}
+
+// Stats counts EMR activity for experiments.
+type Stats struct {
+	Ticks              int
+	PlannedActions     int
+	ExecutedMigrations int
+	DeniedAdmissions   int
+	ResolvedConflicts  int
+	ScaleOuts          int
+	ScaleIns           int
+}
+
+// Manager wires the EMR to an application: policy, profiler, cluster, and
+// actor runtime. Create with New, then Start.
+type Manager struct {
+	K    *sim.Kernel
+	C    *cluster.Cluster
+	RT   *actor.Runtime
+	Prof *profile.Profiler
+	Pol  *epl.Policy
+	Cfg  Config
+
+	gems     []*gem
+	lems     map[cluster.MachineID]*lem
+	reserved map[cluster.MachineID]actor.Ref // dedicated server -> owner
+	draining map[cluster.MachineID]bool
+
+	// OnTick, when set, observes each period's global snapshot before
+	// planning (used by experiments to trace CPU% and actor distributions).
+	OnTick func(tick int, snap *epl.Snapshot)
+	// OnActions, when set, observes the final resolved action list each
+	// period before admission checks.
+	OnActions func(final []Action)
+
+	Stats   Stats
+	running bool
+	booting int // provisioned machines not yet up (scale-out cooldown)
+}
+
+type lem struct {
+	srv cluster.MachineID
+
+	gemActions []Action // actions received from the GEM this period
+
+	// admission ledger: extra resource share already promised to inbound
+	// actors this period, per resource.
+	promised [3]float64
+}
+
+type gem struct {
+	id      int
+	reports []report
+	failed  bool
+
+	// view flags from the last processed period, for adjustment voting.
+	allOver  bool
+	allUnder bool
+}
+
+type report struct {
+	srv  cluster.MachineID
+	info *epl.ServerInfo
+}
+
+// New creates an EMR manager. Call Start to begin elasticity management.
+func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Profiler, pol *epl.Policy, cfg Config) *Manager {
+	m := &Manager{
+		K: k, C: c, RT: rt, Prof: prof, Pol: pol, Cfg: cfg.withDefaults(),
+		lems:     make(map[cluster.MachineID]*lem),
+		reserved: make(map[cluster.MachineID]actor.Ref),
+		draining: make(map[cluster.MachineID]bool),
+	}
+	for i := 0; i < m.Cfg.NumGEMs; i++ {
+		m.gems = append(m.gems, &gem{id: i})
+	}
+	return m
+}
+
+// Start installs the new-actor placement hook and schedules periodic
+// elasticity management.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.RT.SetPlacement(m)
+	m.Prof.Reset()
+	m.K.Every(m.Cfg.Period, func() bool {
+		if !m.running {
+			return false
+		}
+		m.tick()
+		return true
+	})
+}
+
+// Stop halts elasticity management after the current period.
+func (m *Manager) Stop() { m.running = false }
+
+// FailGEM simulates the crash of one global elasticity manager (§4.3 fault
+// tolerance): no state synchronization exists between LEMs and GEMs, so
+// LEMs simply stop picking the failed GEM at the next period. Returns false
+// if the id is out of range.
+func (m *Manager) FailGEM(id int) bool {
+	if id < 0 || id >= len(m.gems) {
+		return false
+	}
+	m.gems[id].failed = true
+	return true
+}
+
+// RecoverGEM brings a failed GEM back into the shuffle.
+func (m *Manager) RecoverGEM(id int) bool {
+	if id < 0 || id >= len(m.gems) {
+		return false
+	}
+	m.gems[id].failed = false
+	return true
+}
+
+// aliveGEMs lists the GEMs currently accepting reports.
+func (m *Manager) aliveGEMs() []*gem {
+	var out []*gem
+	for _, g := range m.gems {
+		if !g.failed {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// lemFor returns (creating if needed) the LEM for a server.
+func (m *Manager) lemFor(srv cluster.MachineID) *lem {
+	l := m.lems[srv]
+	if l == nil {
+		l = &lem{srv: srv}
+		m.lems[srv] = l
+	}
+	return l
+}
+
+// tick runs one elasticity period end to end (phases spaced by GEMLatency).
+func (m *Manager) tick() {
+	m.Stats.Ticks++
+	tickIdx := m.Stats.Ticks
+
+	// Close the profiling window.
+	snap := m.Prof.Snapshot(nil)
+	m.Prof.Reset()
+	m.cleanupReservations()
+	m.finishDraining()
+
+	if m.OnTick != nil {
+		m.OnTick(tickIdx, snap)
+	}
+
+	up := m.C.UpMachines()
+	if len(up) == 0 {
+		return
+	}
+
+	// Phase 1 — LEMs: apply interaction rules locally, report to a GEM.
+	for _, g := range m.gems {
+		g.reports = nil
+	}
+	for _, mach := range up {
+		l := m.lemFor(mach.ID)
+		l.gemActions = nil
+		l.promised = [3]float64{}
+	}
+	// Pins first so planners see them.
+	inter := epl.Evaluate(m.Pol, snap, false, true)
+	for _, pi := range inter.Pin {
+		m.RT.Pin(pi.Actor)
+	}
+	// Refresh pin flags in the snapshot for planners.
+	for _, ai := range snap.Actors {
+		ai.Pinned = m.RT.Pinned(ai.Ref)
+	}
+	alive := m.aliveGEMs()
+	for _, mach := range up {
+		l := m.lemFor(mach.ID)
+		if len(alive) == 0 {
+			continue // no GEM: interaction rules still ran above (§4.3)
+		}
+		// Alg. 1 line 11: each LEM reports to a randomly chosen live GEM
+		// (the shuffling that makes GEM failure harmless).
+		g := alive[m.K.Rand().Intn(len(alive))]
+		g.reports = append(g.reports, report{srv: l.srv, info: snap.Server(l.srv)})
+	}
+
+	// Phase 2 — GEMs: apply resource rules over reporting servers.
+	m.K.After(m.Cfg.GEMLatency, func() {
+		for _, g := range m.gems {
+			if g.failed {
+				continue
+			}
+			m.gemProcess(g, snap)
+		}
+		// Phase 3 — LEMs: plan interaction actions against the GEM
+		// actions' destinations, resolve conflicts, query targets, migrate.
+		m.K.After(m.Cfg.GEMLatency, func() {
+			m.resolveAndExecute(snap, inter)
+		})
+	})
+}
+
+// cleanupReservations drops reservations whose owner died or moved away.
+func (m *Manager) cleanupReservations() {
+	for srv, owner := range m.reserved {
+		if !m.RT.Exists(owner) || m.RT.ServerOf(owner) != srv {
+			// Keep the reservation while the owner's migration is still in
+			// flight: the owner not being on any other reserved server is
+			// approximated by dropping only when it settled elsewhere.
+			if s := m.RT.ServerOf(owner); s >= 0 && s != srv {
+				delete(m.reserved, srv)
+			} else if !m.RT.Exists(owner) {
+				delete(m.reserved, srv)
+			}
+		}
+	}
+}
+
+// finishDraining decommissions drained servers once they are empty.
+func (m *Manager) finishDraining() {
+	ids := make([]cluster.MachineID, 0, len(m.draining))
+	for id := range m.draining {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if len(m.RT.ActorsOn(id)) == 0 {
+			if m.C.Decommission(id) == nil {
+				m.Stats.ScaleIns++
+			}
+			delete(m.draining, id)
+		}
+	}
+}
+
+// gemProcess is Alg. 2: build the global snapshot over reporting servers,
+// apply resource rules, distribute actions, and drive scale adjustment.
+func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot) {
+	if len(g.reports) <= m.Cfg.K {
+		return
+	}
+	scope := make([]cluster.MachineID, 0, len(g.reports))
+	for _, r := range g.reports {
+		scope = append(scope, r.srv)
+	}
+	sort.Slice(scope, func(i, j int) bool { return scope[i] < scope[j] })
+
+	res := epl.Evaluate(m.Pol, subSnapshot(snap, scope), true, false)
+	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, snap, res)
+	g.allOver = allOver
+	g.allUnder = allUnder
+	m.Stats.PlannedActions += len(actions)
+	for _, a := range actions {
+		l := m.lemFor(a.Src)
+		l.gemActions = append(l.gemActions, a)
+	}
+	if outNeed > 0 && m.Cfg.ScaleOut {
+		m.tryScaleOut(g, outNeed)
+	}
+	if wantIn && m.Cfg.ScaleIn && len(actions) == 0 {
+		m.tryScaleIn(g, scope, snap)
+	}
+}
+
+// subSnapshot restricts a snapshot's servers to scope (actors keep global
+// metadata; out-of-scope actors simply have no server entry and cannot
+// anchor rules).
+func subSnapshot(snap *epl.Snapshot, scope []cluster.MachineID) *epl.Snapshot {
+	in := map[cluster.MachineID]bool{}
+	for _, id := range scope {
+		in[id] = true
+	}
+	sub := &epl.Snapshot{At: snap.At, Window: snap.Window, Actors: snap.Actors}
+	for _, s := range snap.Servers {
+		if in[s.ID] {
+			sub.Servers = append(sub.Servers, s)
+		}
+	}
+	return sub.Index()
+}
+
+// resolveAndExecute is Alg. 1 lines 13-22: plan interaction actions with
+// knowledge of the GEM actions' destinations (so colocation partners follow
+// reserved/balanced actors in the same period), resolve per-actor conflicts
+// by priority, admission-check targets, then migrate.
+func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
+	srvs := make([]cluster.MachineID, 0, len(m.lems))
+	for id := range m.lems {
+		srvs = append(srvs, id)
+	}
+	sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+
+	var all []Action
+	for _, srv := range srvs {
+		all = append(all, m.lems[srv].gemActions...)
+	}
+	interActions := m.planInteraction(snap, inter, all)
+	m.Stats.PlannedActions += len(interActions)
+	all = append(all, interActions...)
+
+	final := m.resolveActions(all)
+	// Process queries in priority order so reservations admit partners.
+	sort.SliceStable(final, func(i, j int) bool { return final[i].Pri > final[j].Pri })
+	if m.OnActions != nil {
+		m.OnActions(final)
+	}
+
+	pinPri := m.Cfg.priority(epl.KindPin)
+	for _, a := range final {
+		a := a
+		if m.RT.ServerOf(a.Actor) != a.Src {
+			continue // stale: the actor moved since planning
+		}
+		repin := false
+		if m.RT.Pinned(a.Actor) {
+			if a.Pri <= pinPri {
+				continue
+			}
+			// An action outranking pin (reserve by default) may move a
+			// pinned actor; the pin is restored at its new home.
+			repin = true
+		}
+		if m.checkIdleRes(a, snap) {
+			if a.Kind == epl.KindReserve {
+				m.reserved[a.Trg] = a.Actor
+			}
+			if repin {
+				m.RT.Unpin(a.Actor)
+			}
+			m.RT.Migrate(a.Actor, a.Trg, func(ok bool) {
+				if repin {
+					m.RT.Pin(a.Actor)
+				}
+				if ok {
+					m.Stats.ExecutedMigrations++
+				} else if a.Kind == epl.KindReserve && m.reserved[a.Trg] == a.Actor {
+					delete(m.reserved, a.Trg)
+				}
+			})
+		} else {
+			m.Stats.DeniedAdmissions++
+		}
+	}
+}
+
+// resolveActions keeps, per actor, the highest-priority action. Colocate
+// actions additionally retarget to follow a partner that is itself being
+// migrated this period.
+func (m *Manager) resolveActions(all []Action) []Action {
+	if len(all) == 0 {
+		return nil
+	}
+	dest := map[actor.Ref]cluster.MachineID{}
+	for _, a := range all {
+		dest[a.Actor] = a.Trg
+	}
+	best := map[actor.Ref]Action{}
+	order := []actor.Ref{}
+	for _, a := range all {
+		if a.Kind == epl.KindColocate && !a.Partner.Zero() {
+			if d, ok := dest[a.Partner]; ok {
+				a.Trg = d
+			}
+		}
+		if a.Trg == a.Src {
+			continue
+		}
+		cur, ok := best[a.Actor]
+		if !ok {
+			best[a.Actor] = a
+			order = append(order, a.Actor)
+			continue
+		}
+		m.Stats.ResolvedConflicts++
+		if a.Pri > cur.Pri {
+			best[a.Actor] = a
+		}
+	}
+	out := make([]Action, 0, len(order))
+	for _, ref := range order {
+		out = append(out, best[ref])
+	}
+	return out
+}
+
+// checkIdleRes decides whether the target server can accept the actor
+// (Table 2a): reserved servers admit only their owner and its colocation
+// partners; draining and down servers admit nothing; otherwise the target's
+// projected utilization must stay under the admission bound.
+func (m *Manager) checkIdleRes(a Action, snap *epl.Snapshot) bool {
+	mach := m.C.Machine(a.Trg)
+	if mach == nil || !mach.Up() || m.draining[a.Trg] {
+		return false
+	}
+	if owner, ok := m.reserved[a.Trg]; ok {
+		if a.Actor != owner && a.Partner != owner {
+			return false
+		}
+		// The owner and its colocation partners are the dedicated server's
+		// entitled workload: no load check (the reserve planner already
+		// chose an idle server for them).
+		return true
+	}
+	ai := snap.Actor(a.Actor)
+	ti := snap.Server(a.Trg)
+	if ai == nil {
+		return false
+	}
+	l := m.lemFor(a.Trg)
+	res := a.Res
+	load := m.loadOn(ai, res, a.Trg, snap)
+	projected := l.promised[res]
+	if ti != nil {
+		projected += ti.Res(res)
+	}
+	if projected+load > m.admissionBound(res) {
+		return false
+	}
+	l.promised[res] += load
+	return true
+}
+
+// admissionBound is the utilization ceiling for accepting migrations.
+func (m *Manager) admissionBound(res epl.Resource) float64 {
+	return m.Cfg.DefaultUpper
+}
+
+// loadOn estimates the resource share (0-100) the actor would add on the
+// target server, rescaling its measured usage by relative capacity.
+func (m *Manager) loadOn(ai *epl.ActorInfo, res epl.Resource, trg cluster.MachineID, snap *epl.Snapshot) float64 {
+	src := m.C.Machine(ai.Server)
+	dst := m.C.Machine(trg)
+	if src == nil || dst == nil {
+		return ai.ResOf(res)
+	}
+	switch res {
+	case epl.CPU:
+		srcCap := float64(src.Type.VCPUs) * src.Type.SpeedFac
+		dstCap := float64(dst.Type.VCPUs) * dst.Type.SpeedFac
+		if dstCap == 0 {
+			return ai.CPUPerc
+		}
+		return ai.CPUPerc * srcCap / dstCap
+	case epl.Mem:
+		if dst.Type.MemMB == 0 {
+			return ai.MemPerc
+		}
+		return float64(ai.MemBytes) / float64(dst.Type.MemMB*1024*1024) * 100
+	case epl.Net:
+		if dst.Type.NetMbps == 0 {
+			return ai.NetPerc
+		}
+		return ai.NetPerc * src.Type.NetMbps / dst.Type.NetMbps
+	}
+	return 0
+}
+
+// movable reports whether the actor may be migrated now (not pinned, has
+// satisfied the minimum-residence stability requirement, §4.3).
+func (m *Manager) movable(ai *epl.ActorInfo) bool {
+	if ai.Pinned {
+		return false
+	}
+	return m.rested(ai)
+}
+
+// movableAt is movable for a specific action priority: actions outranking
+// pin may move pinned actors.
+func (m *Manager) movableAt(ai *epl.ActorInfo, pri int) bool {
+	if ai.Pinned && pri <= m.Cfg.priority(epl.KindPin) {
+		return false
+	}
+	return m.rested(ai)
+}
+
+// rested reports whether the minimum-residence stability requirement
+// (§4.3) has elapsed since the actor's last move.
+func (m *Manager) rested(ai *epl.ActorInfo) bool {
+	return sim.Duration(m.K.Now()-ai.LastMoved) >= m.Cfg.MinResidence
+}

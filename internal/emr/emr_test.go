@@ -1,0 +1,420 @@
+package emr
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+type env struct {
+	k    *sim.Kernel
+	c    *cluster.Cluster
+	rt   *actor.Runtime
+	prof *profile.Profiler
+}
+
+func newEnv(seed int64, machines, vcpus int) *env {
+	k := sim.New(seed)
+	typ := cluster.InstanceType{Name: "t", VCPUs: vcpus, MemMB: 4096, NetMbps: 1000, Boot: 10 * sim.Second, SpeedFac: 1}
+	c := cluster.New(k, machines, typ)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	return &env{k: k, c: c, rt: rt, prof: prof}
+}
+
+// worker is a behavior that sustains roughly dutyPct% load on one core: it
+// burns dutyPct milliseconds of CPU then idles for the rest of a 100 ms
+// cycle before sending itself the next work message.
+func worker(dutyPct int) actor.Behavior {
+	cost := sim.Duration(dutyPct) * sim.Millisecond
+	idle := sim.Duration(100-dutyPct) * sim.Millisecond
+	return actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(cost)
+		ctx.SendAfter(idle, ctx.Self(), "work", nil, 16)
+	})
+}
+
+func startWork(e *env, refs ...actor.Ref) {
+	cl := actor.NewClient(e.rt, 0)
+	for _, r := range refs {
+		cl.Send(r, "work", nil, 16)
+	}
+}
+
+func TestBalanceMovesLoadOffHotServer(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	// Four workers, each ~45% of one core, all on server 0: ~100% (queued).
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(10 * sim.Second))
+
+	on0 := len(e.rt.ActorsOn(0))
+	on1 := len(e.rt.ActorsOn(1))
+	if on1 == 0 {
+		t.Fatalf("no workers migrated off the hot server (0:%d 1:%d)", on0, on1)
+	}
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+	if on0+on1 != 4 {
+		t.Fatalf("workers lost: %d + %d", on0, on1)
+	}
+}
+
+func TestBalanceQuietWhenBalanced(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	a := e.rt.SpawnOn("Worker", worker(35), 0)
+	b := e.rt.SpawnOn("Worker", worker(35), 1)
+	a2 := e.rt.SpawnOn("Worker", worker(35), 0)
+	b2 := e.rt.SpawnOn("Worker", worker(35), 1)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	startWork(e, a, b, a2, b2)
+	e.k.Run(sim.Time(10 * sim.Second))
+	// Both servers at ~70%: inside the band; nothing should move.
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatalf("migrations on balanced load: %d", m.Stats.ExecutedMigrations)
+	}
+}
+
+func TestColocateBringsPairTogether(t *testing.T) {
+	e := newEnv(1, 2, 2)
+	pol := epl.MustParse(`VideoStream(v).call(UserInfo(u).track).count > 0 => pin(v); colocate(v, u);`)
+	user := e.rt.SpawnOn("UserInfo", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(sim.Millisecond)
+	}), 1)
+	video := e.rt.SpawnOn("VideoStream", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(10 * sim.Millisecond)
+		ctx.Send(user, "track", nil, 64)
+		ctx.Send(ctx.Self(), "stream", nil, 16)
+	}), 0)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	startWork(e, video)
+	e.k.Run(sim.Time(5 * sim.Second))
+
+	if !e.rt.Pinned(video) {
+		t.Fatal("video stream not pinned")
+	}
+	if e.rt.ServerOf(video) != 0 {
+		t.Fatal("pinned actor moved")
+	}
+	if e.rt.ServerOf(user) != 0 {
+		t.Fatalf("user info on %d, want colocated with video on 0", e.rt.ServerOf(user))
+	}
+}
+
+func TestReserveDedicatesServer(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	pol := epl.MustParse(`
+server.cpu.perc > 80 and client.call(Folder(fo).open).perc > 40 => reserve(fo, cpu);
+`)
+	hot := e.rt.SpawnOn("Folder", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(30 * sim.Millisecond)
+		ctx.Reply(nil, 32)
+	}), 0)
+	cold := e.rt.SpawnOn("Folder", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(10 * sim.Millisecond)
+		ctx.Reply(nil, 32)
+	}), 0)
+	// Server 2 has a bystander so the reserve should prefer empty server 1.
+	e.rt.SpawnOn("Other", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 2)
+
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	cl := actor.NewClient(e.rt, 2)
+	e.k.Every(20*sim.Millisecond, func() bool {
+		cl.Request(hot, "open", nil, 64, nil)
+		cl.Request(hot, "open", nil, 64, nil)
+		cl.Request(cold, "open", nil, 64, nil)
+		return e.k.Now() < sim.Time(8*sim.Second)
+	})
+	e.k.Run(sim.Time(10 * sim.Second))
+
+	if got := e.rt.ServerOf(hot); got != 1 {
+		t.Fatalf("hot folder on %d, want reserved empty server 1", got)
+	}
+	if owner := m.reserved[1]; owner != hot {
+		t.Fatalf("server 1 reserved for %v, want %v", owner, hot)
+	}
+}
+
+func TestReservedServerRejectsOthers(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	owner := e.rt.SpawnOn("VIP", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 1)
+	m.reserved[1] = owner
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(8 * sim.Second))
+	// Balance wants to move workers but the only target is reserved: the
+	// planner must avoid it, so nothing migrates.
+	if len(e.rt.ActorsOn(1)) != 1 {
+		t.Fatalf("reserved server accepted foreign actors: %v", e.rt.ActorsOn(1))
+	}
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatalf("migrations onto reserved server: %d", m.Stats.ExecutedMigrations)
+	}
+}
+
+func TestScaleOutWhenAllOverloaded(t *testing.T) {
+	e := newEnv(1, 1, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 3; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(50), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{
+		Period: sim.Second, MinResidence: sim.Millisecond,
+		ScaleOut: true, InstanceType: e.c.Machine(0).Type,
+	})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(30 * sim.Second))
+	if m.Stats.ScaleOuts == 0 {
+		t.Fatal("no scale-out despite saturated fleet")
+	}
+	if e.c.UpCount() < 2 {
+		t.Fatalf("up servers = %d", e.c.UpCount())
+	}
+	// Workers must eventually spread onto the new server.
+	if len(e.rt.ActorsOn(1)) == 0 {
+		t.Fatal("new server unused after scale-out")
+	}
+}
+
+func TestScaleInWhenAllUnderutilized(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	// One light worker per server: everything far below 60%.
+	var refs []actor.Ref
+	for i := 0; i < 3; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(5), cluster.MachineID(i)))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{
+		Period: sim.Second, MinResidence: sim.Millisecond,
+		ScaleIn: true, MinServers: 1, InstanceType: e.c.Machine(0).Type,
+	})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(20 * sim.Second))
+	if m.Stats.ScaleIns == 0 {
+		t.Fatal("no scale-in despite idle fleet")
+	}
+	if e.c.UpCount() >= 3 {
+		t.Fatalf("up servers = %d, want < 3", e.c.UpCount())
+	}
+	// No worker may be lost.
+	total := 0
+	for _, mach := range e.c.UpMachines() {
+		total += len(e.rt.ActorsOn(mach.ID))
+	}
+	if total != 3 {
+		t.Fatalf("workers after scale-in = %d", total)
+	}
+}
+
+func TestPinPreventsBalanceMigration(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`
+true => pin(Worker(w));
+server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);
+`)
+	var refs []actor.Ref
+	for i := 0; i < 3; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(50), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(8 * sim.Second))
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatalf("pinned workers migrated %d times", m.Stats.ExecutedMigrations)
+	}
+	for _, r := range refs {
+		if e.rt.ServerOf(r) != 0 {
+			t.Fatal("pinned worker moved")
+		}
+	}
+}
+
+func TestStabilityBlocksImmediateRemigration(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	// MinResidence = 5 periods: within the first few periods nothing moves
+	// because spawn counts as the last move.
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: 5 * sim.Second})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(4 * sim.Second))
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatal("migration before minimum residence elapsed")
+	}
+	e.k.Run(sim.Time(12 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migration after residence elapsed")
+	}
+}
+
+func TestPlacementHookColocatesNewActor(t *testing.T) {
+	e := newEnv(1, 4, 2)
+	pol := epl.MustParse(`Player(p) in ref(Session(s).players) => pin(s); colocate(p, s);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+	m.Start()
+	session := e.rt.SpawnOn("Session", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 2)
+	player := e.rt.Spawn("Player", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), session)
+	if e.rt.ServerOf(player) != 2 {
+		t.Fatalf("player placed on %d, want creator's server 2", e.rt.ServerOf(player))
+	}
+}
+
+func TestPlacementHookReserveTypePrefersIdle(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 50 => reserve(VideoStream(v), cpu);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+	m.Start()
+	// Load server 0.
+	w := e.rt.SpawnOn("W", worker(40), 0)
+	startWork(e, w)
+	e.k.Run(sim.Time(500 * sim.Millisecond))
+	vs := e.rt.Spawn("VideoStream", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), actor.Ref{})
+	if e.rt.ServerOf(vs) != 1 {
+		t.Fatalf("video stream placed on %d, want idle server 1", e.rt.ServerOf(vs))
+	}
+}
+
+func TestPlacementHookFallsBackToRandom(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 => balance({Other}, cpu);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+	m.Start()
+	ref := e.rt.Spawn("Unrelated", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), actor.Ref{})
+	if e.rt.ServerOf(ref) < 0 {
+		t.Fatal("fallback placement failed")
+	}
+}
+
+func TestConflictResolutionPrefersHigherPriority(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	m := New(e.k, e.c, e.rt, e.prof, epl.MustParse(`true => pin(None(n));`), Config{Period: sim.Second})
+	a := actor.Ref{ID: 42}
+	final := m.resolveActions([]Action{
+		{Actor: a, Src: 0, Trg: 1, Kind: epl.KindColocate, Pri: 20},
+		{Actor: a, Src: 0, Trg: 2, Kind: epl.KindBalance, Pri: 40},
+	})
+	if len(final) != 1 || final[0].Trg != 2 || final[0].Kind != epl.KindBalance {
+		t.Fatalf("resolved = %+v, want balance to server 2", final)
+	}
+	if m.Stats.ResolvedConflicts != 1 {
+		t.Fatalf("conflicts = %d", m.Stats.ResolvedConflicts)
+	}
+}
+
+func TestColocateFollowsMigratingPartner(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	m := New(e.k, e.c, e.rt, e.prof, epl.MustParse(`true => pin(None(n));`), Config{Period: sim.Second})
+	partner := actor.Ref{ID: 1}
+	follower := actor.Ref{ID: 2}
+	// The partner is being reserved onto server 2; the follower's colocate
+	// was planned against the partner's old server 1.
+	final := m.resolveActions([]Action{
+		{Actor: follower, Src: 0, Trg: 1, Kind: epl.KindColocate, Pri: 20, Partner: partner},
+		{Actor: partner, Src: 1, Trg: 2, Kind: epl.KindReserve, Pri: 30, Partner: partner},
+	})
+	for _, a := range final {
+		if a.Actor == follower && a.Trg != 2 {
+			t.Fatalf("follower retargeted to %d, want 2", a.Trg)
+		}
+	}
+}
+
+func TestMultipleGEMsStillBalance(t *testing.T) {
+	e := newEnv(3, 8, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 16; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(22), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond, NumGEMs: 4})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(40 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migrations with 4 GEMs")
+	}
+	if len(e.rt.ActorsOn(0)) == 16 {
+		t.Fatal("load never left the hot server")
+	}
+}
+
+func TestKThresholdSuppressesSmallGEMs(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	// K=5 > number of servers: the GEM never acts.
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond, K: 5})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(8 * sim.Second))
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatal("GEM acted below the K report threshold")
+	}
+}
+
+func TestStopHaltsManagement(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	m.Stop()
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	startWork(e, refs...)
+	e.k.Run(sim.Time(5 * sim.Second))
+	if m.Stats.Ticks > 1 {
+		t.Fatalf("manager ticked %d times after Stop", m.Stats.Ticks)
+	}
+}
+
+func TestOnTickObserverFires(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 => balance({Worker}, cpu);`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+	ticks := 0
+	m.OnTick = func(tick int, snap *epl.Snapshot) {
+		ticks++
+		if len(snap.Servers) != 2 {
+			t.Errorf("snapshot servers = %d", len(snap.Servers))
+		}
+	}
+	m.Start()
+	e.k.Run(sim.Time(5500 * sim.Millisecond))
+	if ticks != 5 {
+		t.Fatalf("observer fired %d times, want 5", ticks)
+	}
+}

@@ -1,0 +1,148 @@
+package emr
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// §4.3 fault tolerance: no state synchronization exists between LEMs and
+// GEMs, so a GEM crash must not stop elasticity management — LEMs shuffle
+// onto the surviving GEMs.
+
+func TestBalanceSurvivesGEMFailure(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond, NumGEMs: 4})
+	m.Start()
+	// Kill three of the four GEMs before any period elapses.
+	for id := 0; id < 3; id++ {
+		if !m.FailGEM(id) {
+			t.Fatalf("FailGEM(%d) rejected", id)
+		}
+	}
+	startWork(e, refs...)
+	e.k.Run(sim.Time(10 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migrations with one surviving GEM")
+	}
+	if len(e.rt.ActorsOn(1)) == 0 {
+		t.Fatal("load never balanced after GEM failures")
+	}
+}
+
+func TestAllGEMsFailedStopsResourceRulesOnly(t *testing.T) {
+	e := newEnv(1, 2, 2)
+	// One interaction rule and one resource rule.
+	pol := epl.MustParse(`
+VideoStream(v).call(UserInfo(u).track).count > 0 => colocate(v, u);
+server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);
+`)
+	user := e.rt.SpawnOn("UserInfo", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 1)
+	video := e.rt.SpawnOn("VideoStream", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(sim.Millisecond)
+		ctx.Send(user, "track", nil, 32)
+		ctx.SendAfter(20*sim.Millisecond, ctx.Self(), "go", nil, 8)
+	}), 0)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		// Light background load so the colocate admission has headroom.
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(15), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond, NumGEMs: 2})
+	m.Start()
+	m.FailGEM(0)
+	m.FailGEM(1)
+	startWork(e, refs...)
+	actor.NewClient(e.rt, 0).Send(video, "go", nil, 8)
+	e.k.Run(sim.Time(8 * sim.Second))
+	// Interaction rules are evaluated by LEMs and keep working...
+	if e.rt.ServerOf(user) != e.rt.ServerOf(video) {
+		t.Fatal("interaction rule stopped working without GEMs")
+	}
+	// ...while resource rules (GEM-owned) cannot run: workers stay put.
+	for _, r := range refs {
+		if e.rt.ServerOf(r) != 0 {
+			t.Fatal("balance ran without any GEM")
+		}
+	}
+}
+
+func TestRecoverGEMRestoresResourceRules(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	m.FailGEM(0)
+	startWork(e, refs...)
+	e.k.Run(sim.Time(5 * sim.Second))
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatal("migrations while the only GEM was down")
+	}
+	m.RecoverGEM(0)
+	e.k.Run(sim.Time(10 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migrations after GEM recovery")
+	}
+}
+
+func TestFailGEMBounds(t *testing.T) {
+	e := newEnv(1, 1, 1)
+	m := New(e.k, e.c, e.rt, e.prof, epl.MustParse(`true => pin(A(a));`), Config{Period: sim.Second})
+	if m.FailGEM(-1) || m.FailGEM(5) {
+		t.Fatal("out-of-range GEM id accepted")
+	}
+	if m.RecoverGEM(99) {
+		t.Fatal("out-of-range recover accepted")
+	}
+}
+
+func TestElasticityContinuesAfterMachineFailure(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 6; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(30), cluster.MachineID(i%3)))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(3 * sim.Second))
+
+	// Crash machine 2 and let the underlying runtime recover its actors.
+	if !e.c.Fail(2) {
+		t.Fatal("Fail rejected")
+	}
+	e.rt.RecoverMachine(2)
+	e.k.Run(sim.Time(15 * sim.Second))
+
+	// All six workers live on the two survivors and keep their load split.
+	total := 0
+	for _, id := range []cluster.MachineID{0, 1} {
+		total += len(e.rt.ActorsOn(id))
+	}
+	if total != 6 {
+		t.Fatalf("workers on survivors = %d, want 6", total)
+	}
+	if len(e.rt.ActorsOn(2)) != 0 {
+		t.Fatal("actors left on the crashed machine")
+	}
+	// The EMR should have spread them roughly evenly (3 workers each at
+	// 30% duty = 90% per 1-core machine; the balance band keeps migrating
+	// until the split is 3/3).
+	n0, n1 := len(e.rt.ActorsOn(0)), len(e.rt.ActorsOn(1))
+	if n0 < 2 || n1 < 2 {
+		t.Fatalf("post-failure balance skewed: %d vs %d", n0, n1)
+	}
+}

@@ -1,0 +1,201 @@
+package emr
+
+import (
+	"math"
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+)
+
+// tryScaleOut implements the adjustment protocol of §4.2: the requesting
+// GEM broadcasts to all other GEMs; each replies whether its own view is
+// similar (all of its servers overloaded too). On a majority of
+// corroborating replies the fleet grows by one server.
+func (m *Manager) tryScaleOut(g *gem, need int) {
+	agree := 1
+	voters := 1
+	for _, other := range m.gems {
+		if other == g || other.failed || len(other.reports) == 0 {
+			continue
+		}
+		voters++
+		if other.allOver {
+			agree++
+		}
+	}
+	if agree*2 <= voters {
+		return
+	}
+	// Provision up to the demand, capped per period, counting machines
+	// already booting toward it (the boot pipeline is the cooldown).
+	const maxPerPeriod = 4
+	if need > maxPerPeriod {
+		need = maxPerPeriod
+	}
+	for m.booting < need {
+		mach := m.C.Provision(m.Cfg.InstanceType, func(*cluster.Machine) { m.booting-- })
+		if mach == nil {
+			return
+		}
+		m.booting++
+		m.Stats.ScaleOuts++
+	}
+}
+
+// tryScaleIn drains the emptiest of the GEM's servers after a corroborating
+// majority vote, migrating its actors away; the server is decommissioned
+// once empty (next tick).
+func (m *Manager) tryScaleIn(g *gem, scope []cluster.MachineID, snap *epl.Snapshot) {
+	if len(m.draining) > 0 || m.C.UpCount() <= m.Cfg.MinServers {
+		return
+	}
+	agree := 1
+	voters := 1
+	for _, other := range m.gems {
+		if other == g || other.failed || len(other.reports) == 0 {
+			continue
+		}
+		voters++
+		if other.allUnder {
+			agree++
+		}
+	}
+	if agree*2 <= voters {
+		return
+	}
+
+	// Pick the scoped server with the fewest actors (cheapest to drain).
+	victim := cluster.MachineID(-1)
+	fewest := math.MaxInt32
+	for _, id := range scope {
+		if _, taken := m.reserved[id]; taken {
+			continue
+		}
+		n := len(m.RT.ActorsOn(id))
+		if n < fewest {
+			fewest = n
+			victim = id
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	m.draining[victim] = true
+	m.Stats.PlannedActions += fewest
+
+	// Evacuate: spread the victim's actors over the least-loaded remaining
+	// servers. Drain migrations bypass the admission query (the server is
+	// going away), but still respect pins.
+	targets := m.evacTargets(victim, snap)
+	if len(targets) == 0 {
+		delete(m.draining, victim)
+		return
+	}
+	for i, ref := range m.RT.ActorsOn(victim) {
+		if m.RT.Pinned(ref) {
+			// A pinned actor blocks the drain entirely.
+			delete(m.draining, victim)
+			return
+		}
+		m.RT.Migrate(ref, targets[i%len(targets)], nil)
+	}
+}
+
+// evacTargets lists candidate servers for drain migrations, least loaded
+// first.
+func (m *Manager) evacTargets(victim cluster.MachineID, snap *epl.Snapshot) []cluster.MachineID {
+	var out []srvLoad
+	for _, srv := range snap.Servers {
+		if !srv.Up || srv.ID == victim || m.draining[srv.ID] {
+			continue
+		}
+		if _, taken := m.reserved[srv.ID]; taken {
+			continue
+		}
+		out = append(out, srvLoad{srv.ID, srv.CPUPerc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].load < out[j].load })
+	ids := make([]cluster.MachineID, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// Place implements actor.PlacementHook: new actors are placed per the
+// elasticity rules (§4.2 "New actor creation") — colocation rules put them
+// next to their creator, reserve/balance rules put them on the idlest
+// server for the rule's resource; otherwise placement falls back to random
+// (return -1).
+func (m *Manager) Place(typ string, creator actor.Ref, creatorSrv cluster.MachineID) cluster.MachineID {
+	creatorType := m.RT.TypeOf(creator)
+	for _, rule := range m.Pol.Rules {
+		for _, beh := range rule.Behaviors {
+			switch bh := beh.(type) {
+			case *epl.ColocateBeh:
+				at, bt := bh.A.Type(), bh.B.Type()
+				if typ != at && typ != bt && at != epl.AnyType && bt != epl.AnyType {
+					continue
+				}
+				partner := bt
+				if typ == bt {
+					partner = at
+				}
+				if creatorSrv >= 0 && (partner == creatorType || partner == epl.AnyType) {
+					if mach := m.C.Machine(creatorSrv); mach != nil && mach.Up() {
+						return creatorSrv
+					}
+				}
+			case *epl.ReserveBeh:
+				if bh.Actor.Type() == typ || bh.Actor.Type() == epl.AnyType {
+					if srv, ok := m.idlestMachine(bh.Res); ok {
+						return srv
+					}
+				}
+			case *epl.BalanceBeh:
+				for _, t := range bh.Types {
+					if t == typ || t == epl.AnyType {
+						if srv, ok := m.idlestMachine(bh.Res); ok {
+							return srv
+						}
+					}
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// idlestMachine picks the up, non-reserved, non-draining machine with the
+// lowest live utilization on res.
+func (m *Manager) idlestMachine(res epl.Resource) (cluster.MachineID, bool) {
+	best := cluster.MachineID(-1)
+	bestLoad := math.Inf(1)
+	for _, mach := range m.C.UpMachines() {
+		if m.draining[mach.ID] {
+			continue
+		}
+		if _, taken := m.reserved[mach.ID]; taken {
+			continue
+		}
+		var load float64
+		switch res {
+		case epl.CPU:
+			load = mach.CPUPercent()
+		case epl.Mem:
+			load = mach.MemPercent()
+		case epl.Net:
+			load = mach.NetPercent()
+		}
+		// Bias toward machines with fewer actors to break early-period ties
+		// (utilization windows may be empty right after a reset).
+		load += float64(len(m.RT.ActorsOn(mach.ID))) * 0.01
+		if load < bestLoad {
+			bestLoad = load
+			best = mach.ID
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,348 @@
+package epl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema describes the application program's actor classes (Fig. 3.I) for
+// semantic checking of a policy against it.
+type Schema struct {
+	Actors map[string]*ActorSchema
+}
+
+// ActorSchema declares one actor class: its functions (message handlers),
+// reference properties, and (optionally) a parent class. §3.2 notes that
+// PLASMA "currently treats actor subtypes as distinct types from their
+// parent types"; declaring Parent enables the natural extension — a rule
+// written for the parent type also matches subtype actors (see
+// Policy.Expand).
+type ActorSchema struct {
+	Name      string
+	Parent    string
+	Functions []string
+	Props     []string
+}
+
+// NewSchema builds a schema from actor class declarations.
+func NewSchema(classes ...*ActorSchema) *Schema {
+	s := &Schema{Actors: make(map[string]*ActorSchema)}
+	for _, c := range classes {
+		s.Actors[c.Name] = c
+	}
+	return s
+}
+
+// Class declares an actor class for NewSchema.
+func Class(name string, funcs []string, props []string) *ActorSchema {
+	return &ActorSchema{Name: name, Functions: funcs, Props: props}
+}
+
+// Subclass declares an actor class extending a parent class. The subtype
+// inherits nothing structurally (functions/props are its own), but rules
+// naming the parent type match subtype actors after Check.
+func Subclass(name, parent string, funcs []string, props []string) *ActorSchema {
+	return &ActorSchema{Name: name, Parent: parent, Functions: funcs, Props: props}
+}
+
+// descendants returns the set of types equal to or transitively extending
+// t, in deterministic order.
+func (s *Schema) descendants(t string) []string {
+	out := []string{t}
+	// Breadth-first over the child relation.
+	for i := 0; i < len(out); i++ {
+		names := make([]string, 0, len(s.Actors))
+		for n := range s.Actors {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if s.Actors[n].Parent == out[i] {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func (a *ActorSchema) hasFunc(name string) bool {
+	for _, f := range a.Functions {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *ActorSchema) hasProp(name string) bool {
+	for _, p := range a.Props {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Warning is a non-fatal diagnostic, primarily from conflict detection
+// (§4.3: "PLASMA's compiler detects conflicting rules for the same actor
+// type, and issues warnings").
+type Warning struct {
+	Pos Pos
+	Msg string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("epl:%s: warning: %s", w.Pos, w.Msg) }
+
+// Check validates a policy against a schema (nil schema skips name checks)
+// and returns conflict warnings. It returns the first semantic error found.
+// When the schema declares subtype relations, Check also compiles them into
+// the policy so rule evaluation matches subtype actors (Policy.Expand).
+func Check(pol *Policy, schema *Schema) ([]Warning, error) {
+	for _, r := range pol.Rules {
+		if err := checkRule(r, schema); err != nil {
+			return nil, err
+		}
+	}
+	if schema != nil {
+		pol.subtypes = map[string][]string{}
+		for name, as := range schema.Actors {
+			if as.Parent != "" {
+				// Only bother when any hierarchy exists.
+				for n := range schema.Actors {
+					pol.subtypes[n] = schema.descendants(n)
+				}
+				break
+			}
+			_ = name
+		}
+	}
+	return detectConflicts(pol), nil
+}
+
+func checkRule(r *Rule, schema *Schema) error {
+	// Every variable must have a concrete or any type.
+	for _, v := range r.Vars {
+		if err := checkType(v.Type, v.Pos, schema); err != nil {
+			return err
+		}
+	}
+	if err := checkCond(r.Cond, schema); err != nil {
+		return err
+	}
+	usedInBeh := map[string]bool{}
+	for _, b := range r.Behaviors {
+		switch beh := b.(type) {
+		case *BalanceBeh:
+			for _, t := range beh.Types {
+				if err := checkType(t, beh.Pos, schema); err != nil {
+					return err
+				}
+				// balance takes type names, not variables (§3.2).
+				if r.VarByName(t) != nil {
+					return errAt(beh.Pos, "balance takes actor types, not variables (%q is a variable)", t)
+				}
+			}
+		case *ReserveBeh:
+			if err := checkActorRef(beh.Actor, schema); err != nil {
+				return err
+			}
+			markVar(beh.Actor, usedInBeh)
+		case *ColocateBeh:
+			if err := checkActorRef(beh.A, schema); err != nil {
+				return err
+			}
+			if err := checkActorRef(beh.B, schema); err != nil {
+				return err
+			}
+			markVar(beh.A, usedInBeh)
+			markVar(beh.B, usedInBeh)
+		case *SeparateBeh:
+			if err := checkActorRef(beh.A, schema); err != nil {
+				return err
+			}
+			if err := checkActorRef(beh.B, schema); err != nil {
+				return err
+			}
+			markVar(beh.A, usedInBeh)
+			markVar(beh.B, usedInBeh)
+		case *PinBeh:
+			if err := checkActorRef(beh.Actor, schema); err != nil {
+				return err
+			}
+			markVar(beh.Actor, usedInBeh)
+		}
+	}
+	return nil
+}
+
+func markVar(ref *ActorRef, used map[string]bool) {
+	if ref.Decl != nil {
+		used[ref.Decl.Name] = true
+	}
+}
+
+func checkCond(c Cond, schema *Schema) error {
+	switch cond := c.(type) {
+	case *TrueCond:
+		return nil
+	case *AndCond:
+		if err := checkCond(cond.L, schema); err != nil {
+			return err
+		}
+		return checkCond(cond.R, schema)
+	case *OrCond:
+		if err := checkCond(cond.L, schema); err != nil {
+			return err
+		}
+		return checkCond(cond.R, schema)
+	case *InRefCond:
+		if err := checkActorRef(cond.Sub, schema); err != nil {
+			return err
+		}
+		if err := checkActorRef(cond.Container, schema); err != nil {
+			return err
+		}
+		if schema != nil {
+			ct := cond.Container.Type()
+			if as := schema.Actors[ct]; as != nil && !as.hasProp(cond.Prop) {
+				return errAt(cond.Pos, "actor type %q has no property %q", ct, cond.Prop)
+			}
+		}
+		return nil
+	case *CmpCond:
+		switch feat := cond.Feat.(type) {
+		case *ResFeature:
+			if !feat.Server {
+				if err := checkActorRef(feat.Actor, schema); err != nil {
+					return err
+				}
+			}
+			// Resource features expose utilization percentages and sizes,
+			// not counts ("not all statistics apply to all features").
+			if cond.Stat == Count {
+				return errAt(cond.Pos, "statistic 'count' does not apply to resource feature %s", feat)
+			}
+		case *CallFeature:
+			if !feat.Client {
+				if err := checkActorRef(feat.Caller, schema); err != nil {
+					return err
+				}
+			}
+			if err := checkActorRef(feat.Callee, schema); err != nil {
+				return err
+			}
+			if schema != nil {
+				ct := feat.Callee.Type()
+				if as := schema.Actors[ct]; as != nil && !as.hasFunc(feat.FName) {
+					return errAt(feat.Pos, "actor type %q has no function %q", ct, feat.FName)
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("epl: unknown condition node %T", c)
+}
+
+func checkType(name string, pos Pos, schema *Schema) error {
+	if name == AnyType || schema == nil {
+		return nil
+	}
+	if schema.Actors[name] == nil {
+		return errAt(pos, "unknown actor type %q", name)
+	}
+	return nil
+}
+
+func checkActorRef(ref *ActorRef, schema *Schema) error {
+	t := ref.Type()
+	if t == "" {
+		return errAt(ref.Pos, "unresolved actor reference %q", ref.VarName)
+	}
+	return checkType(t, ref.Pos, schema)
+}
+
+// typePair is an unordered pair of actor type names.
+type typePair struct{ a, b string }
+
+func makePair(a, b string) typePair {
+	if a > b {
+		a, b = b, a
+	}
+	return typePair{a, b}
+}
+
+// detectConflicts flags rule combinations that can demand contradictory
+// placements for the same actor type. These are warnings: the runtime
+// resolves surviving conflicts by priority (§4.3).
+func detectConflicts(pol *Policy) []Warning {
+	var warns []Warning
+	colocated := map[typePair]Pos{}
+	separated := map[typePair]Pos{}
+	pinned := map[string]Pos{}
+	balanced := map[string]Pos{}
+	reserved := map[string]Pos{}
+
+	for _, r := range pol.Rules {
+		for _, b := range r.Behaviors {
+			switch beh := b.(type) {
+			case *ColocateBeh:
+				colocated[makePair(beh.A.Type(), beh.B.Type())] = beh.Pos
+			case *SeparateBeh:
+				separated[makePair(beh.A.Type(), beh.B.Type())] = beh.Pos
+			case *PinBeh:
+				pinned[beh.Actor.Type()] = beh.Pos
+			case *BalanceBeh:
+				for _, t := range beh.Types {
+					balanced[t] = beh.Pos
+				}
+			case *ReserveBeh:
+				reserved[beh.Actor.Type()] = beh.Pos
+			}
+		}
+	}
+
+	for pair, pos := range colocated {
+		if _, ok := separated[pair]; ok {
+			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
+				"types %q and %q are both colocated and separated; runtime priority decides", pair.a, pair.b)})
+		}
+	}
+	for t, pos := range pinned {
+		if _, ok := balanced[t]; ok || (t == AnyType && len(balanced) > 0) {
+			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
+				"type %q is pinned but also subject to balance; pinned actors will not be balanced", t)})
+		}
+		if _, ok := reserved[t]; ok {
+			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
+				"type %q is pinned but also subject to reserve; pinned actors will not be reserved", t)})
+		}
+	}
+	for t, pos := range reserved {
+		if _, ok := balanced[t]; ok {
+			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
+				"type %q is both reserved and balanced; runtime priority (balance first) decides", t)})
+		}
+	}
+	for pair := range colocated {
+		for _, t := range []string{pair.a, pair.b} {
+			if pos, ok := balanced[t]; ok {
+				warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
+					"type %q is balanced but also colocated with %q; balance may break colocation", t, other(pair, t))})
+			}
+		}
+	}
+	sort.Slice(warns, func(i, j int) bool {
+		if warns[i].Pos.Line != warns[j].Pos.Line {
+			return warns[i].Pos.Line < warns[j].Pos.Line
+		}
+		return warns[i].Msg < warns[j].Msg
+	})
+	return warns
+}
+
+func other(p typePair, t string) string {
+	if p.a == t {
+		return p.b
+	}
+	return p.a
+}

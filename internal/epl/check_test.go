@@ -1,0 +1,178 @@
+package epl
+
+import (
+	"strings"
+	"testing"
+)
+
+func mediaSchema() *Schema {
+	return NewSchema(
+		Class("FrontEnd", []string{"request"}, nil),
+		Class("VideoStream", []string{"watch"}, nil),
+		Class("UserInfo", []string{"track"}, nil),
+		Class("ReviewEditor", []string{"edit"}, nil),
+		Class("UserReview", []string{"update"}, nil),
+		Class("MovieReview", []string{"read"}, nil),
+		Class("ReviewChecker", []string{"check"}, nil),
+		Class("UserDB", []string{"get"}, nil),
+	)
+}
+
+func TestCheckPaperPoliciesAgainstSchemas(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		schema *Schema
+	}{
+		{"metadata", metadataPolicy, NewSchema(
+			Class("Folder", []string{"open"}, []string{"files"}),
+			Class("File", []string{"read", "write"}, nil),
+		)},
+		{"pagerank", pagerankPolicy, NewSchema(
+			Class("Partition", []string{"compute"}, nil),
+		)},
+		{"estore", estorePolicy, NewSchema(
+			Class("Partition", []string{"read"}, []string{"children"}),
+		)},
+		{"media", mediaPolicy, mediaSchema()},
+		{"halo", haloPolicy, NewSchema(
+			Class("Router", []string{"route"}, nil),
+			Class("Session", []string{"heartbeat"}, []string{"players"}),
+			Class("Player", []string{"update"}, nil),
+		)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pol := MustParse(c.src)
+			if _, err := Check(pol, c.schema); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckUnknownType(t *testing.T) {
+	pol := MustParse(`server.cpu.perc > 80 => balance({Ghost}, cpu);`)
+	_, err := Check(pol, NewSchema(Class("Real", nil, nil)))
+	if err == nil || !strings.Contains(err.Error(), "unknown actor type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckUnknownFunction(t *testing.T) {
+	pol := MustParse(`client.call(Folder(f).bogus).count > 3 => pin(f);`)
+	_, err := Check(pol, NewSchema(Class("Folder", []string{"open"}, nil)))
+	if err == nil || !strings.Contains(err.Error(), "no function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckUnknownProp(t *testing.T) {
+	pol := MustParse(`File(fi) in ref(Folder(fo).bogus) => colocate(fo, fi);`)
+	_, err := Check(pol, NewSchema(
+		Class("Folder", nil, []string{"files"}),
+		Class("File", nil, nil),
+	))
+	if err == nil || !strings.Contains(err.Error(), "no property") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckCountOnResourceFeature(t *testing.T) {
+	pol := MustParse(`server.cpu.count > 3 => balance({A}, cpu);`)
+	_, err := Check(pol, nil)
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckBalanceRejectsVariables(t *testing.T) {
+	pol := MustParse(`Partition(p).cpu.perc > 30 => balance({p}, cpu);`)
+	_, err := Check(pol, nil)
+	if err == nil || !strings.Contains(err.Error(), "variable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckNilSchemaSkipsNames(t *testing.T) {
+	pol := MustParse(`client.call(Anything(a).whatever).count > 0 => pin(a);`)
+	if _, err := Check(pol, nil); err != nil {
+		t.Fatalf("nil schema should skip name checks: %v", err)
+	}
+}
+
+func TestConflictColocateSeparate(t *testing.T) {
+	pol := MustParse(`
+true => colocate(A(a), B(b));
+true => separate(A(x), B(y));
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasWarning(warns, "colocated and separated") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestConflictPinBalance(t *testing.T) {
+	pol := MustParse(`
+true => pin(Worker(w));
+server.cpu.perc > 80 => balance({Worker}, cpu);
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasWarning(warns, "pinned but also subject to balance") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestConflictReserveBalance(t *testing.T) {
+	// The E-Store policy intentionally reserves and balances Partitions;
+	// the compiler should warn, and the runtime resolves it by priority.
+	pol := MustParse(estorePolicy)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasWarning(warns, "reserved and balanced") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestConflictBalanceBreaksColocation(t *testing.T) {
+	pol := MustParse(`
+Partition(p2) in ref(Partition(p1).children) => colocate(p1, p2);
+server.cpu.perc > 80 => balance({Partition}, cpu);
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasWarning(warns, "balance may break colocation") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestNoFalseConflicts(t *testing.T) {
+	pol := MustParse(haloPolicy)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pin(Session) + colocate(Player, Session): no conflict.
+	if len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
+	}
+}
+
+func hasWarning(warns []Warning, substr string) bool {
+	for _, w := range warns {
+		if strings.Contains(w.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}

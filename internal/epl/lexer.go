@@ -1,0 +1,209 @@
+package epl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokComma  // ,
+	tokSemi   // ;
+	tokDot    // .
+	tokArrow  // =>
+	tokLT     // <
+	tokGT     // >
+	tokLE     // <=
+	tokGE     // >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "'=>'"
+	case tokLT:
+		return "'<'"
+	case tokGT:
+		return "'>'"
+	case tokLE:
+		return "'<='"
+	case tokGE:
+		return "'>='"
+	}
+	return "token?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error is a positioned EPL compilation error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("epl:%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes EPL source. Comments run from '#' or '//' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	pos := func() Pos { return Pos{Line: line, Col: col} }
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < n && src[i+1] == '/'):
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: pos()})
+			advance(1)
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: pos()})
+			advance(1)
+		case c == '{':
+			toks = append(toks, token{kind: tokLBrace, pos: pos()})
+			advance(1)
+		case c == '}':
+			toks = append(toks, token{kind: tokRBrace, pos: pos()})
+			advance(1)
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: pos()})
+			advance(1)
+		case c == ';':
+			toks = append(toks, token{kind: tokSemi, pos: pos()})
+			advance(1)
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, pos: pos()})
+			advance(1)
+		case c == '=':
+			if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{kind: tokArrow, pos: pos()})
+				advance(2)
+			} else {
+				return nil, errAt(pos(), "unexpected '='; did you mean '=>'?")
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokLE, pos: pos()})
+				advance(2)
+			} else {
+				toks = append(toks, token{kind: tokLT, pos: pos()})
+				advance(1)
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokGE, pos: pos()})
+				advance(2)
+			} else {
+				toks = append(toks, token{kind: tokGT, pos: pos()})
+				advance(1)
+			}
+		case c >= '0' && c <= '9':
+			p := pos()
+			j := i
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			text := src[i:j]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, errAt(p, "bad number %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: p})
+			advance(j - i)
+		default:
+			r, _ := utf8.DecodeRuneInString(src[i:])
+			if !isIdentStart(r) {
+				return nil, errAt(pos(), "unexpected character %q", string(r))
+			}
+			p := pos()
+			j := i
+			for j < n {
+				r2, size2 := utf8.DecodeRuneInString(src[j:])
+				if !isIdentPart(r2) {
+					break
+				}
+				j += size2
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: p})
+			advance(j - i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: pos()})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,122 @@
+package epl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lex(`server.cpu.perc >= 82.5 => balance({A, B}, cpu);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{
+		tokIdent, tokDot, tokIdent, tokDot, tokIdent, tokGE, tokNumber,
+		tokArrow, tokIdent, tokLParen, tokLBrace, tokIdent, tokComma,
+		tokIdent, tokRBrace, tokComma, tokIdent, tokRParen, tokSemi, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex(`< > <= >=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tokLT, tokGT, tokLE, tokGE, tokEOF}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexNumberValue(t *testing.T) {
+	toks, err := lex(`40 82.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].num != 40 || toks[1].num != 82.5 {
+		t.Fatalf("numbers = %v, %v", toks[0].num, toks[1].num)
+	}
+}
+
+func TestLexBadNumber(t *testing.T) {
+	if _, err := lex(`1.2.3`); err == nil {
+		t.Fatal("1.2.3 accepted")
+	}
+}
+
+func TestLexCommentsSkipped(t *testing.T) {
+	toks, err := lex("# comment line\n// another\ntrue # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].text != "true" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("true\n  =>\n    pin(a);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos.Line != 1 || toks[0].pos.Col != 1 {
+		t.Fatalf("true at %v", toks[0].pos)
+	}
+	if toks[1].pos.Line != 2 || toks[1].pos.Col != 3 {
+		t.Fatalf("=> at %v", toks[1].pos)
+	}
+	if toks[2].pos.Line != 3 || toks[2].pos.Col != 5 {
+		t.Fatalf("pin at %v", toks[2].pos)
+	}
+}
+
+func TestLexLoneEquals(t *testing.T) {
+	_, err := lex(`a = b`)
+	if err == nil || !strings.Contains(err.Error(), "=>") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	_, err := lex(`a @ b`)
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexUnicodeIdent(t *testing.T) {
+	toks, err := lex(`Ордер_7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "Ордер_7" {
+		t.Fatalf("token = %v", toks[0])
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	for k := tokEOF; k <= tokGE; k++ {
+		if k.String() == "token?" {
+			t.Fatalf("kind %d has no String", k)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package epl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"plasma/internal/cluster"
+)
+
+// genPolicy builds a random syntactically valid policy from the Fig. 3
+// grammar.
+func genPolicy(rng *rand.Rand) string {
+	types := []string{"Folder", "File", "Worker", "Session", "Player"}
+	funcs := []string{"open", "read", "compute", "track"}
+	props := []string{"files", "children", "players"}
+	res := []string{"cpu", "mem", "net"}
+	comp := []string{"<", ">", "<=", ">="}
+
+	var sb strings.Builder
+	rules := rng.Intn(4) + 1
+	varCounter := 0
+	for r := 0; r < rules; r++ {
+		var declared []string
+		newVar := func(t string) string {
+			varCounter++
+			v := fmt.Sprintf("v%d", varCounter)
+			declared = append(declared, v)
+			return fmt.Sprintf("%s(%s)", t, v)
+		}
+		anyVar := func(t string) string {
+			if len(declared) > 0 && rng.Intn(2) == 0 {
+				return declared[rng.Intn(len(declared))]
+			}
+			return newVar(t)
+		}
+		basic := func() string {
+			switch rng.Intn(4) {
+			case 0:
+				return "true"
+			case 1:
+				return fmt.Sprintf("server.%s.perc %s %d", res[rng.Intn(3)], comp[rng.Intn(4)], rng.Intn(100))
+			case 2:
+				return fmt.Sprintf("client.call(%s.%s).%s %s %d",
+					newVar(types[rng.Intn(len(types))]), funcs[rng.Intn(len(funcs))],
+					[]string{"count", "size", "perc"}[rng.Intn(3)], comp[rng.Intn(4)], rng.Intn(100))
+			default:
+				return fmt.Sprintf("%s in ref(%s.%s)",
+					newVar(types[rng.Intn(len(types))]),
+					newVar(types[rng.Intn(len(types))]), props[rng.Intn(len(props))])
+			}
+		}
+		cond := basic()
+		for c := rng.Intn(2); c > 0; c-- {
+			op := " and "
+			if rng.Intn(2) == 0 {
+				op = " or "
+			}
+			cond += op + basic()
+		}
+		var behs []string
+		for b := rng.Intn(2) + 1; b > 0; b-- {
+			switch rng.Intn(5) {
+			case 0:
+				behs = append(behs, fmt.Sprintf("balance({%s}, %s)", types[rng.Intn(len(types))], res[rng.Intn(3)]))
+			case 1:
+				behs = append(behs, fmt.Sprintf("reserve(%s, %s)", anyVar(types[rng.Intn(len(types))]), res[rng.Intn(3)]))
+			case 2:
+				behs = append(behs, fmt.Sprintf("colocate(%s, %s)", anyVar("Folder"), anyVar("File")))
+			case 3:
+				behs = append(behs, fmt.Sprintf("separate(%s, %s)", anyVar("Worker"), anyVar("Player")))
+			default:
+				behs = append(behs, fmt.Sprintf("pin(%s)", anyVar("Session")))
+			}
+		}
+		fmt.Fprintf(&sb, "%s => %s;\n", cond, strings.Join(behs, "; "))
+	}
+	return sb.String()
+}
+
+// Property: generated policies parse, check (against a nil schema), and
+// String() is a fixpoint under re-parsing.
+func TestPropertyRandomPoliciesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		src := genPolicy(rng)
+		pol, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated policy failed to parse: %v\n%s", err, src)
+		}
+		if _, err := Check(pol, nil); err != nil {
+			t.Fatalf("generated policy failed check: %v\n%s", err, src)
+		}
+		printed := pol.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed policy failed to re-parse: %v\n%s", err, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("String() not a fixpoint:\n%s\nvs\n%s", printed, again.String())
+		}
+		if len(again.Rules) != len(pol.Rules) {
+			t.Fatalf("rule count changed across round trip")
+		}
+	}
+}
+
+// Property: evaluation never panics and dedup holds (no duplicate pins) on
+// random snapshots for random policies.
+func TestPropertyEvaluateTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		pol, err := Parse(genPolicy(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := newSnap()
+		for s := 0; s < 3; s++ {
+			b.server(cluster.MachineID(s), rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		}
+		types := []string{"Folder", "File", "Worker", "Session", "Player"}
+		for a := 0; a < 12; a++ {
+			b.actor(types[rng.Intn(len(types))], cluster.MachineID(rng.Intn(3)), rng.Float64()*60)
+		}
+		in := Evaluate(pol, b.build(), true, true)
+		seenPin := map[string]bool{}
+		for _, p := range in.Pin {
+			key := p.Actor.String()
+			if seenPin[key] {
+				t.Fatalf("duplicate pin for %s", key)
+			}
+			seenPin[key] = true
+		}
+	}
+}

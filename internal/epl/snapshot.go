@@ -1,0 +1,153 @@
+package epl
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/sim"
+)
+
+// CallStat aggregates messages of one (caller, method) pair received by an
+// actor within a profiling window.
+type CallStat struct {
+	CallerType string    // actor type name or actor.ClientCaller
+	Caller     actor.Ref // zero when calls are aggregated per caller type
+	Method     string
+	Count      int64
+	Bytes      int64
+}
+
+// ActorInfo is one actor's runtime information in a snapshot (the
+// actorsRT of Alg. 1/2).
+type ActorInfo struct {
+	Ref    actor.Ref
+	Type   string
+	Server cluster.MachineID
+
+	CPUPerc  float64 // share of its server's total CPU capacity (0-100)
+	CPUTime  sim.Duration
+	MemPerc  float64
+	MemBytes int64
+	NetPerc  float64
+	NetBytes int64
+
+	Props     map[string][]actor.Ref
+	Calls     []CallStat
+	Pinned    bool
+	LastMoved sim.Time
+}
+
+// ServerInfo is one server's runtime information (the serverRT of Alg. 1/2).
+type ServerInfo struct {
+	ID      cluster.MachineID
+	CPUPerc float64
+	MemPerc float64
+	NetPerc float64
+	VCPUs   int
+	MemMB   int64
+	Up      bool
+}
+
+// Res reads the named resource utilization.
+func (s *ServerInfo) Res(r Resource) float64 {
+	switch r {
+	case CPU:
+		return s.CPUPerc
+	case Mem:
+		return s.MemPerc
+	case Net:
+		return s.NetPerc
+	}
+	return 0
+}
+
+// ResOf reads the actor's named resource utilization percent.
+func (a *ActorInfo) ResOf(r Resource) float64 {
+	switch r {
+	case CPU:
+		return a.CPUPerc
+	case Mem:
+		return a.MemPerc
+	case Net:
+		return a.NetPerc
+	}
+	return 0
+}
+
+// ResSize reads the actor's named resource in absolute units (cpu: µs of
+// CPU time, mem/net: bytes).
+func (a *ActorInfo) ResSize(r Resource) float64 {
+	switch r {
+	case CPU:
+		return float64(a.CPUTime)
+	case Mem:
+		return float64(a.MemBytes)
+	case Net:
+		return float64(a.NetBytes)
+	}
+	return 0
+}
+
+// Snapshot is the profiling view a rule evaluation runs against: a LEM's
+// local snapshot or a GEM's global one.
+type Snapshot struct {
+	At     sim.Time
+	Window sim.Duration
+
+	Actors  []*ActorInfo
+	Servers []*ServerInfo
+
+	byRef    map[actor.Ref]*ActorInfo
+	byType   map[string][]*ActorInfo
+	byServer map[cluster.MachineID]*ServerInfo
+}
+
+// Index builds lookup maps; call after populating Actors/Servers.
+func (s *Snapshot) Index() *Snapshot {
+	s.byRef = make(map[actor.Ref]*ActorInfo, len(s.Actors))
+	s.byType = make(map[string][]*ActorInfo)
+	s.byServer = make(map[cluster.MachineID]*ServerInfo, len(s.Servers))
+	for _, a := range s.Actors {
+		s.byRef[a.Ref] = a
+		s.byType[a.Type] = append(s.byType[a.Type], a)
+	}
+	for _, srv := range s.Servers {
+		s.byServer[srv.ID] = srv
+	}
+	return s
+}
+
+// Actor looks up one actor's info (nil if absent).
+func (s *Snapshot) Actor(ref actor.Ref) *ActorInfo { return s.byRef[ref] }
+
+// OfType returns actors of the given type; AnyType returns all.
+func (s *Snapshot) OfType(t string) []*ActorInfo {
+	if t == AnyType {
+		return s.Actors
+	}
+	return s.byType[t]
+}
+
+// OfTypes returns actors of any of the given types, preserving snapshot
+// order (used for subtype-expanded matching).
+func (s *Snapshot) OfTypes(types []string) []*ActorInfo {
+	if len(types) == 1 {
+		return s.OfType(types[0])
+	}
+	want := map[string]bool{}
+	for _, t := range types {
+		if t == AnyType {
+			return s.Actors
+		}
+		want[t] = true
+	}
+	var out []*ActorInfo
+	for _, a := range s.Actors {
+		if want[a.Type] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Server looks up one server's info (nil if absent).
+func (s *Snapshot) Server(id cluster.MachineID) *ServerInfo { return s.byServer[id] }

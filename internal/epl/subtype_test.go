@@ -1,0 +1,111 @@
+package epl
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+)
+
+// Subtype-aware matching: the paper (§3.2) treats subtypes as distinct and
+// names subtype support as the natural extension; these tests cover it.
+
+func subtypeSchema() *Schema {
+	return NewSchema(
+		Class("Partition", []string{"read"}, []string{"children"}),
+		Subclass("HotPartition", "Partition", []string{"read"}, nil),
+		Subclass("ArchivePartition", "Partition", []string{"read"}, nil),
+		Subclass("GlacierPartition", "ArchivePartition", []string{"read"}, nil),
+		Class("Unrelated", nil, nil),
+	)
+}
+
+func TestExpandWithoutHierarchyIsIdentity(t *testing.T) {
+	pol := MustParse(`true => pin(A(a));`)
+	if got := pol.Expand("A"); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("Expand = %v", got)
+	}
+}
+
+func TestCheckCompilesSubtypeMap(t *testing.T) {
+	pol := MustParse(`server.cpu.perc > 80 => balance({Partition}, cpu);`)
+	if _, err := Check(pol, subtypeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	got := pol.Expand("Partition")
+	want := map[string]bool{
+		"Partition": true, "HotPartition": true,
+		"ArchivePartition": true, "GlacierPartition": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Expand(Partition) = %v", got)
+	}
+	for _, tn := range got {
+		if !want[tn] {
+			t.Fatalf("unexpected type %q in expansion %v", tn, got)
+		}
+	}
+	if len(pol.Expand("Unrelated")) != 1 {
+		t.Fatalf("Unrelated expansion = %v", pol.Expand("Unrelated"))
+	}
+	// Mid-hierarchy expansion includes only its own subtree.
+	arch := pol.Expand("ArchivePartition")
+	if len(arch) != 2 {
+		t.Fatalf("Expand(ArchivePartition) = %v", arch)
+	}
+}
+
+func TestEvaluateMatchesSubtypeActors(t *testing.T) {
+	pol := MustParse(`Partition(p).cpu.perc > 30 => reserve(p, cpu);`)
+	if _, err := Check(pol, subtypeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	b := newSnap().server(0, 50, 0, 0)
+	hot := b.actor("HotPartition", 0, 60)
+	plain := b.actor("Partition", 0, 55)
+	cold := b.actor("GlacierPartition", 0, 5) // matches the type, fails cond
+	unrelated := b.actor("Unrelated", 0, 90)
+	_ = cold
+	_ = unrelated
+	in := Evaluate(pol, b.build(), true, true)
+	if len(in.Reserve) != 2 {
+		t.Fatalf("reserve = %+v, want hot subtype + plain parent", in.Reserve)
+	}
+	got := map[actor.Ref]bool{in.Reserve[0].Actor: true, in.Reserve[1].Actor: true}
+	if !got[hot.Ref] || !got[plain.Ref] {
+		t.Fatalf("reserve = %+v", in.Reserve)
+	}
+}
+
+func TestBalanceIntentCoversSubtypes(t *testing.T) {
+	pol := MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Partition}, cpu);`)
+	if _, err := Check(pol, subtypeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	b := newSnap().server(0, 90, 0, 0).server(1, 10, 0, 0)
+	b.actor("HotPartition", 0, 40)
+	in := Evaluate(pol, b.build(), true, false)
+	if len(in.Balance) != 1 {
+		t.Fatalf("balance = %+v", in.Balance)
+	}
+	if !in.Balance[0].Covers("HotPartition") || !in.Balance[0].Covers("GlacierPartition") {
+		t.Fatalf("intent types = %v", in.Balance[0].Types)
+	}
+	if in.Balance[0].Covers("Unrelated") {
+		t.Fatal("intent covers an unrelated type")
+	}
+}
+
+func TestSubtypeMatchingThroughInRef(t *testing.T) {
+	pol := MustParse(`Partition(c) in ref(Partition(p).children) => colocate(p, c);`)
+	if _, err := Check(pol, subtypeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	b := newSnap().server(0, 0, 0, 0).server(1, 0, 0, 0)
+	parent := b.actor("Partition", 0, 0)
+	child := b.actor("HotPartition", 1, 0)
+	parent.Props["children"] = []actor.Ref{child.Ref}
+	in := Evaluate(pol, b.build(), true, true)
+	if len(in.Colocate) != 1 {
+		t.Fatalf("colocate = %+v, want subtype child matched via ref", in.Colocate)
+	}
+}

@@ -1,0 +1,147 @@
+// Package experiments reproduces every table and figure of PLASMA's
+// evaluation (§5) on the simulated cluster: each experiment builds the
+// paper's workload, runs the same comparisons, and reports the same rows or
+// series. Absolute numbers differ from the AWS testbed; the shapes — who
+// wins, by roughly what factor, where crossovers fall — are the deliverable
+// (see EXPERIMENTS.md for the paper-vs-measured record).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plasma/internal/metrics"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string // e.g. "fig5"
+	Title string
+
+	Header []string
+	Rows   [][]string
+
+	// Series holds named traces for figure-style results.
+	Series map[string]*metrics.Series
+	// Summary holds the key scalar findings (also consumed by benchmarks).
+	Summary map[string]float64
+	// Notes records observations comparing against the paper's claims.
+	Notes []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{
+		ID:      id,
+		Title:   title,
+		Series:  map[string]*metrics.Series{},
+		Summary: map[string]float64{},
+	}
+}
+
+func (r *Result) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the result as an aligned text table plus summary lines.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 || len(r.Rows) > 0 {
+		widths := make([]int, len(r.Header))
+		rows := append([][]string{r.Header}, r.Rows...)
+		for _, row := range rows {
+			for i, c := range row {
+				for i >= len(widths) {
+					widths = append(widths, 0)
+				}
+				if len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		for ri, row := range rows {
+			for i, c := range row {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+			sb.WriteByte('\n')
+			if ri == 0 && len(r.Header) > 0 {
+				for i := range r.Header {
+					sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	if len(r.Summary) > 0 {
+		keys := make([]string, 0, len(r.Summary))
+		for k := range r.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "summary %-40s %.4g\n", k, r.Summary[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Config scales experiments: Full reproduces the paper's setup sizes;
+// the default (quick) configuration shrinks workloads so the entire
+// evaluation runs in seconds, preserving every comparison's shape.
+type Config struct {
+	Full bool
+	Seed int64
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Registry maps experiment ids to runners.
+var Registry = map[string]func(Config) *Result{
+	"table1": Table1,
+	"table3": Table3,
+	"fig5":   Fig5,
+	"fig6a":  Fig6a,
+	"fig6b":  Fig6b,
+	"fig7a":  Fig7a,
+	"fig7bc": Fig7bc,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11a": Fig11a,
+	"fig11b": Fig11b,
+	"fig11c": Fig11c,
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Result, error) {
+	fn, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return fn(cfg), nil
+}
+
+func ms(x float64) string { return fmt.Sprintf("%.1f ms", x) }
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x) }

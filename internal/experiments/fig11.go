@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/halo"
+	"plasma/internal/apps/workload"
+	"plasma/internal/baseline"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// haloBaseLatency accentuates remote-hop cost (the paper's measured
+// latencies are dominated by cross-instance messaging).
+const haloBaseLatency = 5 * sim.Millisecond
+
+// Fig11a reproduces §5.7's interaction-rule comparison: 8 routers and 8
+// sessions on 8 servers; 32 clients join in 4 rounds of 180 s; the
+// interaction rule (colocate player with its session, placed correctly at
+// creation) vs the frequency-based default rule (random placement, chase
+// the chattiest peer each period). Period 70 s.
+//
+// Paper: inter-rule keeps latency smooth from the start; def-rule shows
+// degraded spans until each round's players get re-located.
+func Fig11a(cfg Config) *Result {
+	r := newResult("fig11a", "Halo: interaction rule vs frequency-based default rule")
+	r.Header = []string{"Rule", "Mean latency", "p95 latency"}
+
+	roundLen := 180 * sim.Second
+	period := 70 * sim.Second
+	hbEvery := 500 * sim.Millisecond
+	if !cfg.Full {
+		roundLen = 60 * sim.Second
+		period = 25 * sim.Second
+	}
+	rounds, perRound := 4, 8
+
+	run := func(mode string) *workload.Recorder {
+		k := sim.New(cfg.seed())
+		c := cluster.New(k, 10, cluster.M1Small) // 8 app servers + 2 client sites
+		c.BaseLatency = haloBaseLatency
+		rt := actor.NewRuntime(k, c)
+		prof := profile.New(k, c, rt)
+		srvs := make([]cluster.MachineID, 8)
+		for i := range srvs {
+			srvs[i] = cluster.MachineID(i)
+		}
+		app := halo.Build(k, rt, srvs, srvs, 8, 8)
+
+		switch mode {
+		case "inter-rule":
+			mgr := emr.New(k, c, rt, prof, epl.MustParse(halo.InterPolicySrc),
+				emr.Config{Period: period})
+			mgr.Start()
+		case "def-rule":
+			f := &baseline.FreqColocator{K: k, RT: rt, C: c, Prof: prof,
+				Period: period, Threshold: 10}
+			f.Start()
+		}
+
+		rec := workload.NewRecorder(10 * sim.Second)
+		for round := 0; round < rounds; round++ {
+			for j := 0; j < perRound; j++ {
+				joinAt := sim.Time(round)*sim.Time(roundLen) +
+					sim.Time(k.Rand().Int63n(int64(roundLen)))
+				idx := round*perRound + j
+				k.At(joinAt, func() {
+					p := app.Join(idx % len(app.Sessions))
+					site := cluster.MachineID(8 + idx%2)
+					cl := actor.NewClient(rt, site)
+					k.Every(hbEvery, func() bool {
+						app.Heartbeat(cl, p, func(lat sim.Duration) {
+							rec.Record(k.Now(), lat)
+						})
+						return k.Now() < sim.Time(rounds)*sim.Time(roundLen)+sim.Time(roundLen)
+					})
+				})
+			}
+		}
+		k.Run(sim.Time(rounds)*sim.Time(roundLen) + sim.Time(roundLen))
+		return rec
+	}
+
+	stats := map[string][2]float64{}
+	for _, mode := range []string{"inter-rule", "def-rule"} {
+		rec := run(mode)
+		r.Series[mode] = rec.Series()
+		mean := rec.Hist.Mean()
+		p95 := rec.Hist.Percentile(95)
+		stats[mode] = [2]float64{mean, p95}
+		r.addRow(mode, ms(mean), ms(p95))
+		r.Summary["mean_ms_"+mode] = mean
+		r.Summary["p95_ms_"+mode] = p95
+	}
+	if d := stats["def-rule"]; d[0] > 0 {
+		r.Summary["defrule_p95_over_inter"] = d[1] / stats["inter-rule"][1]
+	}
+	r.notef("paper: inter-rule avoids remote messaging from the start; def-rule degrades until re-location")
+	return r
+}
+
+// Fig11b reproduces the per-client detail of the first round under the
+// default rule: fortunately placed clients see low latency immediately;
+// misplaced ones run ~35% higher until the first redistribution.
+func Fig11b(cfg Config) *Result {
+	r := newResult("fig11b", "Halo: per-client latency, first round, default rule")
+	r.Header = []string{"Client", "Early latency", "Late latency", "Early/Late"}
+
+	period := 70 * sim.Second
+	total := 170 * sim.Second
+	if !cfg.Full {
+		period = 25 * sim.Second
+		total = 80 * sim.Second
+	}
+
+	k := sim.New(cfg.seed())
+	c := cluster.New(k, 10, cluster.M1Small)
+	c.BaseLatency = haloBaseLatency
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	srvs := make([]cluster.MachineID, 8)
+	for i := range srvs {
+		srvs[i] = cluster.MachineID(i)
+	}
+	app := halo.Build(k, rt, srvs, srvs, 8, 8)
+	f := &baseline.FreqColocator{K: k, RT: rt, C: c, Prof: prof, Period: period, Threshold: 10}
+	f.Start()
+
+	recs := make([]*workload.Recorder, 8)
+	misplacedAtJoin := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		recs[i] = workload.NewRecorder(10 * sim.Second)
+		p := app.Join(i)
+		misplacedAtJoin[i] = rt.ServerOf(p) != rt.ServerOf(app.SessionOf(p))
+		cl := actor.NewClient(rt, cluster.MachineID(8+i%2))
+		k.Every(500*sim.Millisecond, func() bool {
+			app.Heartbeat(cl, p, func(lat sim.Duration) { recs[i].Record(k.Now(), lat) })
+			return k.Now() < sim.Time(total)
+		})
+	}
+	k.Run(sim.Time(total))
+
+	misplacedEarly, placedEarly := 0.0, 0.0
+	nm, np := 0, 0
+	ratioSum, nr := 0.0, 0
+	for i := 0; i < 8; i++ {
+		s := recs[i].Series()
+		if s.Len() == 0 {
+			continue
+		}
+		early := s.Y[0]
+		late := s.TailMeanY(0.3)
+		ratio := early / late
+		r.addRow(fmt.Sprintf("c%d", i+1), ms(early), ms(late), fmt.Sprintf("%.2f", ratio))
+		if misplacedAtJoin[i] {
+			misplacedEarly += early
+			nm++
+			ratioSum += ratio
+			nr++
+		} else {
+			placedEarly += early
+			np++
+		}
+	}
+	if nm > 0 && np > 0 {
+		penalty := (misplacedEarly/float64(nm) - placedEarly/float64(np)) / (placedEarly / float64(np)) * 100
+		r.Summary["misplaced_early_penalty_pct"] = penalty
+		r.notef("paper: misplaced clients run ~35%% higher latency until redistribution; measured %.0f%% vs well-placed peers", penalty)
+	}
+	if nr > 0 {
+		// Early-vs-settled ratio for misplaced clients: the paper's 30-40ms
+		// down to 20ms after the first redistribution is a ~1.35-2.0x drop.
+		r.Summary["misplaced_early_over_late"] = ratioSum / float64(nr)
+		r.notef("misplaced clients' latency dropped %.2fx after re-location (paper: ~35%%+ higher until redistribution)", ratioSum/float64(nr))
+	}
+	r.Summary["misplaced_clients"] = float64(nm)
+	return r
+}
+
+// Fig11c reproduces the resource-rule experiment: 64 sessions (one per
+// server) and 32 routers crowded on 8 of 64 servers, with router
+// decryption making those servers hot; 128 clients join over time. The
+// router-balance rule spreads routers; runs with 1, 2, and 4 GEMs compare
+// the impact of GEM count on latency.
+//
+// Paper: latency spikes as clients join, then stabilizes once routers get
+// room; the number of GEMs has only a small impact.
+func Fig11c(cfg Config) *Result {
+	r := newResult("fig11c", "Halo: router CPU balance and GEM count")
+	r.Header = []string{"GEMs", "Peak latency", "Final latency", "Router servers"}
+
+	servers, routers, sessions, clients := 64, 32, 64, 128
+	period := 80 * sim.Second
+	total := 800 * sim.Second
+	hbEvery := 250 * sim.Millisecond
+	if !cfg.Full {
+		servers, routers, sessions, clients = 16, 8, 16, 32
+		period = 20 * sim.Second
+		total = 200 * sim.Second
+		hbEvery = 100 * sim.Millisecond
+	}
+
+	for _, gems := range []int{1, 2, 4} {
+		k := sim.New(cfg.seed())
+		c := cluster.New(k, servers+2, cluster.M1Small)
+		c.BaseLatency = haloBaseLatency
+		rt := actor.NewRuntime(k, c)
+		prof := profile.New(k, c, rt)
+		routerSrvs := make([]cluster.MachineID, servers/8)
+		for i := range routerSrvs {
+			routerSrvs[i] = cluster.MachineID(i)
+		}
+		sessionSrvs := make([]cluster.MachineID, servers)
+		for i := range sessionSrvs {
+			sessionSrvs[i] = cluster.MachineID(i)
+		}
+		app := halo.Build(k, rt, routerSrvs, sessionSrvs, routers, sessions)
+		app.Decrypt = true
+
+		mgr := emr.New(k, c, rt, prof, epl.MustParse(halo.FullPolicySrc),
+			emr.Config{Period: period, NumGEMs: gems})
+		mgr.Start()
+
+		rec := workload.NewRecorder(20 * sim.Second)
+		for i := 0; i < clients; i++ {
+			i := i
+			joinAt := sim.Time(i) * sim.Time(total) / sim.Time(2*clients)
+			k.At(joinAt, func() {
+				p := app.Join(i % sessions)
+				cl := actor.NewClient(rt, cluster.MachineID(servers+i%2))
+				k.Every(hbEvery, func() bool {
+					app.Heartbeat(cl, p, func(lat sim.Duration) { rec.Record(k.Now(), lat) })
+					return k.Now() < sim.Time(total)
+				})
+			})
+		}
+		k.Run(sim.Time(total))
+
+		key := fmt.Sprintf("%dgem", gems)
+		series := rec.Series()
+		r.Series[key] = series
+		peak := series.MaxY()
+		final := series.TailMeanY(0.25)
+		routerSrvSet := map[cluster.MachineID]bool{}
+		for _, rr := range app.Routers {
+			routerSrvSet[rt.ServerOf(rr)] = true
+		}
+		r.addRow(fmt.Sprintf("%d", gems), ms(peak), ms(final), fmt.Sprintf("%d", len(routerSrvSet)))
+		r.Summary["peak_ms_"+key] = peak
+		r.Summary["final_ms_"+key] = final
+		r.Summary["router_servers_"+key] = float64(len(routerSrvSet))
+	}
+	r.notef("paper: latency rises while router servers saturate, then stabilizes after balancing; GEM count has small impact")
+	return r
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"plasma/internal/actor"
+	"plasma/internal/apps/estore"
+	"plasma/internal/apps/workload"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Fig9 reproduces §5.5: E-Store with 40 root partitions × 4 children on 4
+// m1.small servers (one extra server available), 48 clients with the 35%
+// geometric skew. Three managers: PLASMA executing the §3.3 rules, the
+// in-app E-Store algorithm, and no elasticity.
+//
+// Paper: PLASMA E-Store and in-app E-Store track each other closely; both
+// clearly beat no elasticity.
+func Fig9(cfg Config) *Result {
+	r := newResult("fig9", "E-Store latency: PLASMA rules vs in-app elasticity vs none")
+	r.Header = []string{"Setup", "Tail latency", "vs no-elasticity"}
+
+	roots, children := 40, 4
+	clients := 48
+	duration := 220 * sim.Second
+	period := 30 * sim.Second
+	if !cfg.Full {
+		roots, children = 16, 4
+		clients = 24
+		duration = 120 * sim.Second
+		period = 20 * sim.Second
+	}
+
+	run := func(mode string) *workload.Recorder {
+		k := sim.New(cfg.seed())
+		c := cluster.New(k, 5, cluster.M1Small) // 4 app servers + 1 extra
+		rt := actor.NewRuntime(k, c)
+		prof := profile.New(k, c, rt)
+		app := estore.Build(k, rt, []cluster.MachineID{0, 1, 2, 3}, roots, children)
+		k.RunUntilIdle()
+
+		switch mode {
+		case "plasma":
+			mgr := emr.New(k, c, rt, prof, epl.MustParse(estore.PolicySrc),
+				emr.Config{Period: period})
+			mgr.Start()
+		case "in-app":
+			e := &estore.InApp{K: k, RT: rt, C: c, Prof: prof, App: app,
+				Period: period, HighWater: 80, TopFrac: 0.1}
+			e.Start()
+		}
+
+		rec := workload.NewRecorder(10 * sim.Second)
+		pick := workload.SkewedPicker(k, workload.GeometricWeights(roots, 0.35))
+		for i := 0; i < clients; i++ {
+			loop := &workload.ClosedLoop{
+				K:      k,
+				Client: actor.NewClient(rt, 4), // clients use the spare as their site
+				Think:  40 * sim.Millisecond,
+				Rec:    rec,
+				Next: func() workload.Request {
+					return workload.Request{Target: app.Roots[pick()], Method: "read", Size: 256}
+				},
+			}
+			loop.Start()
+		}
+		k.Run(sim.Time(duration))
+		return rec
+	}
+
+	tails := map[string]float64{}
+	for _, mode := range []string{"plasma", "in-app", "none"} {
+		rec := run(mode)
+		series := rec.Series()
+		r.Series[mode] = series
+		tails[mode] = series.TailMeanY(0.34)
+	}
+	for _, mode := range []string{"plasma", "in-app", "none"} {
+		delta := (tails[mode] - tails["none"]) / tails["none"] * 100
+		r.addRow(mode, ms(tails[mode]), pct(delta))
+		r.Summary["tail_ms_"+mode] = tails[mode]
+	}
+	if tails["in-app"] > 0 {
+		r.Summary["plasma_vs_inapp_ratio"] = tails["plasma"] / tails["in-app"]
+	}
+	r.notef("paper: PLASMA E-Store ~= in-app E-Store, both clearly below no-elasticity")
+	return r
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/chatroom"
+	"plasma/internal/cluster"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Table3 reproduces the EPR overhead measurement of §5.2: the chat room
+// microbenchmark on one instance with {8,16,32} users on m1.small ("s") and
+// m1.medium ("m"), reporting the execution time with profiling normalized
+// to the vanilla runtime. The paper observes at most 2.3% overhead.
+func Table3(cfg Config) *Result {
+	r := newResult("table3", "Normalized EPR overhead (chat room microbenchmark)")
+	r.Header = []string{"Setup", "Vanilla", "Profiled", "Normalized"}
+
+	posts := 30
+	if cfg.Full {
+		posts = 200
+	}
+
+	run := func(inst cluster.InstanceType, users int, profiled bool) sim.Duration {
+		k := sim.New(cfg.seed())
+		c := cluster.New(k, 1, inst)
+		rt := actor.NewRuntime(k, c)
+		if profiled {
+			profile.New(k, c, rt)
+		}
+		app := chatroom.Build(rt, 0, users)
+		app.DrivePosts(k, 0, posts, 5*sim.Millisecond)
+		k.RunUntilIdle()
+		return sim.Duration(k.Now())
+	}
+
+	worst := 0.0
+	for _, inst := range []cluster.InstanceType{cluster.M1Small, cluster.M1Medium} {
+		suffix := "s"
+		if inst.Name == "m1.medium" {
+			suffix = "m"
+		}
+		for _, users := range []int{8, 16, 32} {
+			vanilla := run(inst, users, false)
+			profiled := run(inst, users, true)
+			norm := float64(profiled) / float64(vanilla)
+			if norm-1 > worst {
+				worst = norm - 1
+			}
+			setup := fmt.Sprintf("%d-%s", users, suffix)
+			r.addRow(setup, vanilla.String(), profiled.String(), fmt.Sprintf("%.3f", norm))
+			r.Summary["norm_"+setup] = norm
+		}
+	}
+	r.Summary["worst_overhead"] = worst
+	if worst <= 0.023 {
+		r.notef("worst-case overhead %.1f‰ — within the paper's 2.3%% bound", worst*1000)
+	} else {
+		r.notef("worst-case overhead %.2f%% exceeds the paper's 2.3%% bound", worst*100)
+	}
+	return r
+}

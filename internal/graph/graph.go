@@ -1,0 +1,227 @@
+// Package graph provides the graph substrate for the PageRank experiments:
+// a seeded power-law (Chung–Lu style) social-graph generator standing in
+// for SNAP's LiveJournal dataset, partitioners (hash, streaming LDG, and a
+// multilevel METIS-like scheme), and a reference PageRank kernel.
+//
+// The property the paper's experiments rely on is that vertex-balanced
+// partitions of a power-law graph have *uneven edge counts*, so per-partition
+// compute (proportional to edges) is skewed even after "balanced"
+// partitioning — which is exactly the imbalance PLASMA's balance rule fixes.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in adjacency-list form.
+type Graph struct {
+	N   int
+	Out [][]int32
+}
+
+// NumEdges reports the total directed edge count.
+func (g *Graph) NumEdges() int64 {
+	var m int64
+	for _, adj := range g.Out {
+		m += int64(len(adj))
+	}
+	return m
+}
+
+// OutDeg reports a vertex's out-degree.
+func (g *Graph) OutDeg(v int) int { return len(g.Out[v]) }
+
+// GeneratePowerLaw builds a directed graph with n vertices and roughly
+// n*avgDeg edges whose degree distribution follows a power law with the
+// given exponent (typical social graphs: 2.0-2.5). Deterministic per seed.
+func GeneratePowerLaw(n int, avgDeg float64, exponent float64, seed int64) *Graph {
+	if n <= 0 {
+		panic("graph: n must be positive")
+	}
+	if exponent <= 1 {
+		panic("graph: exponent must exceed 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Chung–Lu expected-degree weights: w_i ∝ (i + i0)^(-1/(exponent-1)).
+	alpha := 1 / (exponent - 1)
+	i0 := 10.0 // damps the largest hubs so the graph stays connected-ish
+	weights := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		weights[i] = math.Pow(float64(i)+i0, -alpha)
+		sum += weights[i]
+	}
+	// Cumulative distribution for endpoint sampling.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += weights[i] / sum
+		cum[i] = acc
+	}
+	sample := func() int {
+		x := rng.Float64()
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+
+	m := int64(float64(n) * avgDeg)
+	out := make([][]int32, n)
+	for e := int64(0); e < m; e++ {
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		out[u] = append(out[u], int32(v))
+	}
+	// Guarantee every vertex has at least one out-edge (dangling vertices
+	// complicate PageRank bookkeeping and never occur in LiveJournal's WCC).
+	for v := 0; v < n; v++ {
+		if len(out[v]) == 0 {
+			out[v] = append(out[v], int32(rng.Intn(n)))
+		}
+	}
+	return &Graph{N: n, Out: out}
+}
+
+// InDegrees computes the in-degree of every vertex.
+func (g *Graph) InDegrees() []int {
+	in := make([]int, g.N)
+	for _, adj := range g.Out {
+		for _, v := range adj {
+			in[v]++
+		}
+	}
+	return in
+}
+
+// PageRank runs the classic power-iteration PageRank for iters rounds and
+// returns the final rank vector (sums to ~1).
+func PageRank(g *Graph, damping float64, iters int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		var dangling float64
+		for u := 0; u < n; u++ {
+			deg := len(g.Out[u])
+			if deg == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := damping * rank[u] / float64(deg)
+			for _, v := range g.Out[u] {
+				next[v] += share
+			}
+		}
+		if dangling > 0 {
+			spread := damping * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// PartitionHash assigns vertices to k parts by vertex id modulo k.
+func PartitionHash(g *Graph, k int) []int {
+	parts := make([]int, g.N)
+	for v := range parts {
+		parts[v] = v % k
+	}
+	return parts
+}
+
+// PartitionLDG is the Linear Deterministic Greedy streaming partitioner:
+// each vertex goes to the part holding most of its neighbors, weighted by a
+// linear penalty on part fullness.
+func PartitionLDG(g *Graph, k int) []int {
+	parts := make([]int, g.N)
+	for i := range parts {
+		parts[i] = -1
+	}
+	capacity := float64(g.N)/float64(k) + 1
+	sizes := make([]float64, k)
+	neighborIn := make([]float64, k)
+	for v := 0; v < g.N; v++ {
+		for i := range neighborIn {
+			neighborIn[i] = 0
+		}
+		for _, u := range g.Out[v] {
+			if p := parts[u]; p >= 0 {
+				neighborIn[p]++
+			}
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for p := 0; p < k; p++ {
+			score := (neighborIn[p] + 1) * (1 - sizes[p]/capacity)
+			if score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		parts[v] = best
+		sizes[best]++
+	}
+	return parts
+}
+
+// EdgeCut counts directed edges crossing partition boundaries.
+func EdgeCut(g *Graph, parts []int) int64 {
+	var cut int64
+	for u := 0; u < g.N; u++ {
+		pu := parts[u]
+		for _, v := range g.Out[u] {
+			if parts[v] != pu {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PartVertexCounts reports vertices per part.
+func PartVertexCounts(parts []int, k int) []int {
+	counts := make([]int, k)
+	for _, p := range parts {
+		counts[p]++
+	}
+	return counts
+}
+
+// PartEdgeCounts reports out-edges per part — the per-partition compute
+// cost proxy for PageRank.
+func PartEdgeCounts(g *Graph, parts []int, k int) []int64 {
+	counts := make([]int64, k)
+	for u := 0; u < g.N; u++ {
+		counts[parts[u]] += int64(len(g.Out[u]))
+	}
+	return counts
+}
+
+// Validate checks that parts is a complete assignment into [0, k).
+func Validate(parts []int, n, k int) error {
+	if len(parts) != n {
+		return fmt.Errorf("graph: %d assignments for %d vertices", len(parts), n)
+	}
+	for v, p := range parts {
+		if p < 0 || p >= k {
+			return fmt.Errorf("graph: vertex %d assigned to invalid part %d", v, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package metrics provides the small statistical building blocks used by
+// PLASMA's profiling runtime and by the experiment harnesses: counters,
+// windowed rates, exponentially weighted moving averages, and histograms
+// with percentile queries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing count with a byte total, used for
+// message statistics (count and size per Fig. 3's stat category).
+type Counter struct {
+	N     int64
+	Bytes int64
+}
+
+// Add records one observation of size bytes.
+func (c *Counter) Add(bytes int64) {
+	c.N++
+	c.Bytes += bytes
+}
+
+// Merge folds other into c.
+func (c *Counter) Merge(other Counter) {
+	c.N += other.N
+	c.Bytes += other.Bytes
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("metrics: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds x into the average.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.v, e.init = x, true
+		return
+	}
+	e.v = e.alpha*x + (1-e.alpha)*e.v
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Histogram collects float64 samples for percentile queries. It is not
+// bucketed: experiment sample counts are small enough that exact percentiles
+// are affordable and simpler to reason about.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range h.samples {
+		s += x
+	}
+	return s / float64(len(h.samples))
+}
+
+// Min reports the smallest sample (0 if empty).
+func (h *Histogram) Min() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max reports the largest sample (0 if empty).
+func (h *Histogram) Max() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Returns 0 if empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.ensureSorted()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Stddev reports the population standard deviation (0 if fewer than 2).
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	m := h.Mean()
+	var ss float64
+	for _, x := range h.samples {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = true
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Series is an append-only (x, y) trace used to reproduce the paper's
+// figures (latency over time, CPU% over redistributions, ...).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// MeanY reports the mean of Y (0 if empty).
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+// MaxY reports the maximum of Y (0 if empty).
+func (s *Series) MaxY() float64 {
+	m := math.Inf(-1)
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// TailMeanY reports the mean of the last frac (0,1] of the points, used to
+// summarize "after convergence" behavior.
+func (s *Series) TailMeanY(frac float64) float64 {
+	n := len(s.Y)
+	if n == 0 {
+		return 0
+	}
+	start := n - int(float64(n)*frac)
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
+		start = n - 1
+	}
+	var sum float64
+	for _, y := range s.Y[start:] {
+		sum += y
+	}
+	return sum / float64(n-start)
+}
+
+// Imbalance reports (max-min)/mean for a set of values; 0 for empty input
+// or zero mean. It quantifies load spread across servers.
+func Imbalance(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	return (max - min) / mean
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAddMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(10)
+	a.Add(20)
+	b.Add(5)
+	a.Merge(b)
+	if a.N != 3 || a.Bytes != 35 {
+		t.Fatalf("got N=%d Bytes=%d, want 3, 35", a.N, a.Bytes)
+	}
+	a.Reset()
+	if a.N != 0 || a.Bytes != 0 {
+		t.Fatalf("reset failed: %+v", a)
+	}
+}
+
+func TestEWMAFirstObservationSeeds(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("value after first observe = %v, want 10", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("value = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := h.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 50.5", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramObserveAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	_ = h.Percentile(50)
+	h.Observe(1) // must re-sort
+	if got := h.Min(); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(x)
+	}
+	if got := h.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestSeriesSummaries(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.MeanY(); math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 4.5", got)
+	}
+	if got := s.MaxY(); got != 9 {
+		t.Fatalf("max = %v, want 9", got)
+	}
+	// Last 20% of 10 points = {8, 9} -> mean 8.5.
+	if got := s.TailMeanY(0.2); math.Abs(got-8.5) > 1e-9 {
+		t.Fatalf("tail mean = %v, want 8.5", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.MeanY() != 0 || s.MaxY() != 0 || s.TailMeanY(0.5) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{50, 50, 50}); got != 0 {
+		t.Fatalf("balanced imbalance = %v, want 0", got)
+	}
+	if got := Imbalance([]float64{0, 100}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("imbalance = %v, want 2", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Fatalf("nil imbalance = %v, want 0", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-mean imbalance = %v, want 0", got)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [Min, Max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var h Histogram
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Observe(x)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: p50 of distinct values matches the sorted median neighborhood.
+func TestPropertyMedianWithinRange(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]float64, len(raw))
+		for i, x := range raw {
+			vals[i] = float64(x)
+			h.Observe(float64(x))
+		}
+		sort.Float64s(vals)
+		med := h.Percentile(50)
+		return med >= vals[0] && med <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

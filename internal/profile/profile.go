@@ -1,0 +1,213 @@
+// Package profile implements PLASMA's elasticity profiling runtime (EPR):
+// it tracks the behavior of actors (CPU time, memory, network) and their
+// interactions (message rates and sizes per caller and function), plus
+// per-server resource utilization, within each elasticity period window.
+//
+// The EPR is the data source for rule evaluation: every period, the EMR
+// takes a Snapshot and resets the window.
+package profile
+
+import (
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+type callKey struct {
+	callee     actor.Ref
+	callerType string
+	caller     actor.Ref
+	method     string
+}
+
+// Profiler collects per-window runtime information. It implements
+// actor.ProfilerHook. A single Profiler serves all servers; snapshots can be
+// scoped to a server subset, which is how per-LEM and per-GEM views are
+// produced.
+type Profiler struct {
+	k  *sim.Kernel
+	c  *cluster.Cluster
+	rt *actor.Runtime
+
+	windowStart sim.Time
+	actorCPU    map[actor.Ref]sim.Duration
+	actorNet    map[actor.Ref]int64
+	calls       map[callKey]*countBytes
+
+	messages int64 // total messages observed (all time), for overhead tests
+}
+
+type countBytes struct {
+	count int64
+	bytes int64
+}
+
+// New creates a profiler and attaches it to the runtime.
+func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime) *Profiler {
+	p := &Profiler{
+		k: k, c: c, rt: rt,
+		actorCPU: make(map[actor.Ref]sim.Duration),
+		actorNet: make(map[actor.Ref]int64),
+		calls:    make(map[callKey]*countBytes),
+	}
+	rt.SetProfiler(p)
+	return p
+}
+
+// OnMessage implements actor.ProfilerHook.
+func (p *Profiler) OnMessage(srv cluster.MachineID, callerType string, caller actor.Ref, callee actor.Ref, calleeType, method string, size int64) {
+	k := callKey{callee: callee, callerType: callerType, caller: caller, method: method}
+	cb := p.calls[k]
+	if cb == nil {
+		cb = &countBytes{}
+		p.calls[k] = cb
+	}
+	cb.count++
+	cb.bytes += size
+	p.actorNet[callee] += size
+	p.messages++
+}
+
+// OnCPU implements actor.ProfilerHook.
+func (p *Profiler) OnCPU(srv cluster.MachineID, a actor.Ref, typ string, cost sim.Duration) {
+	p.actorCPU[a] += cost
+}
+
+// OnNet implements actor.ProfilerHook.
+func (p *Profiler) OnNet(srv cluster.MachineID, a actor.Ref, typ string, size int64) {
+	p.actorNet[a] += size
+}
+
+// Messages reports the total number of profiled messages.
+func (p *Profiler) Messages() int64 { return p.messages }
+
+// Window reports the current window's span so far.
+func (p *Profiler) Window() sim.Duration { return sim.Duration(p.k.Now() - p.windowStart) }
+
+// Reset closes the window: per-actor accumulators are cleared and every up
+// machine's utilization window restarts.
+func (p *Profiler) Reset() {
+	p.windowStart = p.k.Now()
+	p.actorCPU = make(map[actor.Ref]sim.Duration)
+	p.actorNet = make(map[actor.Ref]int64)
+	p.calls = make(map[callKey]*countBytes)
+	for _, m := range p.c.Machines() {
+		m.ResetWindow()
+	}
+}
+
+// Snapshot builds the rule-evaluation view for the given server scope (nil
+// means all up servers). Actor metadata (type, placement, properties, pins)
+// is included for every live actor so reference conditions resolve across
+// servers; usage statistics are attributed per actor from this window.
+func (p *Profiler) Snapshot(scope []cluster.MachineID) *epl.Snapshot {
+	snap := &epl.Snapshot{At: p.k.Now(), Window: p.Window()}
+	inScope := map[cluster.MachineID]bool{}
+	if scope == nil {
+		for _, m := range p.c.UpMachines() {
+			inScope[m.ID] = true
+		}
+	} else {
+		for _, id := range scope {
+			inScope[id] = true
+		}
+	}
+
+	ids := make([]cluster.MachineID, 0, len(inScope))
+	for id := range inScope {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := p.c.Machine(id)
+		if m == nil || !m.Up() {
+			continue
+		}
+		snap.Servers = append(snap.Servers, &epl.ServerInfo{
+			ID:      m.ID,
+			CPUPerc: m.CPUPercent(),
+			MemPerc: m.MemPercent(),
+			NetPerc: m.NetPercent(),
+			VCPUs:   m.Type.VCPUs,
+			MemMB:   m.Type.MemMB,
+			Up:      true,
+		})
+	}
+
+	window := p.Window()
+	for _, ref := range p.rt.Actors() {
+		srvID := p.rt.ServerOf(ref)
+		m := p.c.Machine(srvID)
+		if m == nil {
+			continue
+		}
+		ai := &epl.ActorInfo{
+			Ref:       ref,
+			Type:      p.rt.TypeOf(ref),
+			Server:    srvID,
+			MemBytes:  p.rt.MemSize(ref),
+			Pinned:    p.rt.Pinned(ref),
+			LastMoved: p.rt.LastMoved(ref),
+			Props:     map[string][]actor.Ref{},
+		}
+		for _, name := range p.propNames(ref) {
+			ai.Props[name] = p.rt.Props(ref, name)
+		}
+		if m.Type.MemMB > 0 {
+			ai.MemPerc = float64(ai.MemBytes) / float64(m.Type.MemMB*1024*1024) * 100
+		}
+		if inScope[srvID] && window > 0 {
+			cpu := p.actorCPU[ref]
+			ai.CPUTime = cpu
+			ai.CPUPerc = float64(cpu) / (float64(window) * float64(m.Type.VCPUs)) * 100
+			net := p.actorNet[ref]
+			ai.NetBytes = net
+			ai.NetPerc = float64(net) * 8 / 1e6 / window.Seconds() / m.Type.NetMbps * 100
+		}
+		snap.Actors = append(snap.Actors, ai)
+	}
+
+	// Attach call statistics (deterministic order).
+	keys := make([]callKey, 0, len(p.calls))
+	for k := range p.calls {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.callee != b.callee {
+			return a.callee.ID < b.callee.ID
+		}
+		if a.method != b.method {
+			return a.method < b.method
+		}
+		if a.callerType != b.callerType {
+			return a.callerType < b.callerType
+		}
+		return a.caller.ID < b.caller.ID
+	})
+	byActor := map[actor.Ref][]epl.CallStat{}
+	for _, k := range keys {
+		cb := p.calls[k]
+		byActor[k.callee] = append(byActor[k.callee], epl.CallStat{
+			CallerType: k.callerType,
+			Caller:     k.caller,
+			Method:     k.method,
+			Count:      cb.count,
+			Bytes:      cb.bytes,
+		})
+	}
+	for _, ai := range snap.Actors {
+		ai.Calls = byActor[ai.Ref]
+	}
+	return snap.Index()
+}
+
+// propNames lists the property names an actor currently exposes. The actor
+// runtime does not enumerate properties, so the profiler asks via a small
+// shim on Runtime.
+func (p *Profiler) propNames(ref actor.Ref) []string {
+	return p.rt.PropNames(ref)
+}

@@ -1,0 +1,212 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+func env() (*sim.Kernel, *cluster.Cluster, *actor.Runtime, *Profiler) {
+	k := sim.New(1)
+	typ := cluster.InstanceType{Name: "t", VCPUs: 1, MemMB: 1024, NetMbps: 100, SpeedFac: 1}
+	c := cluster.New(k, 2, typ)
+	rt := actor.NewRuntime(k, c)
+	p := New(k, c, rt)
+	return k, c, rt, p
+}
+
+func TestSnapshotServerStats(t *testing.T) {
+	k, _, rt, p := env()
+	busy := actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(400 * sim.Millisecond)
+	})
+	ref := rt.SpawnOn("W", busy, 0)
+	cl := actor.NewClient(rt, 1)
+	cl.Send(ref, "work", nil, 100)
+	cl.Send(ref, "work", nil, 100)
+	k.Run(sim.Time(sim.Second))
+	k.RunUntilIdle()
+	snap := p.Snapshot(nil)
+	if len(snap.Servers) != 2 {
+		t.Fatalf("servers = %d", len(snap.Servers))
+	}
+	s0 := snap.Server(0)
+	// ~800ms busy out of ~1s window.
+	if s0.CPUPerc < 70 || s0.CPUPerc > 90 {
+		t.Fatalf("server 0 CPU%% = %v, want ~80", s0.CPUPerc)
+	}
+	if s1 := snap.Server(1); s1.CPUPerc != 0 {
+		t.Fatalf("server 1 CPU%% = %v, want 0", s1.CPUPerc)
+	}
+}
+
+func TestSnapshotActorCPUAttribution(t *testing.T) {
+	k, _, rt, p := env()
+	mk := func(cost sim.Duration) actor.Ref {
+		return rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+			ctx.Use(cost)
+		}), 0)
+	}
+	big := mk(300 * sim.Millisecond)
+	small := mk(100 * sim.Millisecond)
+	cl := actor.NewClient(rt, 1)
+	cl.Send(big, "w", nil, 10)
+	cl.Send(small, "w", nil, 10)
+	k.Run(sim.Time(sim.Second))
+	k.RunUntilIdle()
+	snap := p.Snapshot(nil)
+	ab, as := snap.Actor(big), snap.Actor(small)
+	if ab.CPUPerc <= as.CPUPerc {
+		t.Fatalf("big %.1f%% <= small %.1f%%", ab.CPUPerc, as.CPUPerc)
+	}
+	// Shares should roughly reflect 3:1.
+	ratio := ab.CPUPerc / as.CPUPerc
+	if math.Abs(ratio-3) > 0.5 {
+		t.Fatalf("cpu ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSnapshotCallStats(t *testing.T) {
+	k, _, rt, p := env()
+	folder := rt.SpawnOn("Folder", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(sim.Millisecond)
+	}), 0)
+	cl := actor.NewClient(rt, 1)
+	for i := 0; i < 5; i++ {
+		cl.Send(folder, "open", nil, 200)
+	}
+	k.RunUntilIdle()
+	snap := p.Snapshot(nil)
+	ai := snap.Actor(folder)
+	if len(ai.Calls) != 1 {
+		t.Fatalf("calls = %+v", ai.Calls)
+	}
+	cs := ai.Calls[0]
+	if cs.CallerType != actor.ClientCaller || cs.Method != "open" || cs.Count != 5 || cs.Bytes != 1000 {
+		t.Fatalf("call stat = %+v", cs)
+	}
+}
+
+func TestSnapshotActorCallerTracked(t *testing.T) {
+	k, _, rt, p := env()
+	user := rt.SpawnOn("UserInfo", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 0)
+	vs := rt.SpawnOn("VideoStream", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Send(user, "track", nil, 50)
+	}), 1)
+	actor.NewClient(rt, 0).Send(vs, "watch", nil, 10)
+	k.RunUntilIdle()
+	snap := p.Snapshot(nil)
+	ai := snap.Actor(user)
+	found := false
+	for _, cs := range ai.Calls {
+		if cs.Method == "track" && cs.CallerType == "VideoStream" && cs.Caller == vs && cs.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("track call not attributed: %+v", ai.Calls)
+	}
+}
+
+func TestResetClearsWindow(t *testing.T) {
+	k, _, rt, p := env()
+	ref := rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(100 * sim.Millisecond)
+	}), 0)
+	actor.NewClient(rt, 1).Send(ref, "w", nil, 10)
+	k.RunUntilIdle()
+	p.Reset()
+	k.Run(k.Now() + sim.Time(sim.Second))
+	snap := p.Snapshot(nil)
+	ai := snap.Actor(ref)
+	if ai.CPUPerc != 0 || ai.CPUTime != 0 || len(ai.Calls) != 0 {
+		t.Fatalf("stats survived reset: %+v", ai)
+	}
+	if snap.Server(0).CPUPerc != 0 {
+		t.Fatalf("server window survived reset: %v", snap.Server(0).CPUPerc)
+	}
+}
+
+func TestSnapshotScope(t *testing.T) {
+	k, _, rt, p := env()
+	a0 := rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(50 * sim.Millisecond)
+	}), 0)
+	a1 := rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(50 * sim.Millisecond)
+	}), 1)
+	cl := actor.NewClient(rt, 0)
+	cl.Send(a0, "w", nil, 10)
+	cl.Send(a1, "w", nil, 10)
+	k.RunUntilIdle()
+	snap := p.Snapshot([]cluster.MachineID{0})
+	if len(snap.Servers) != 1 || snap.Servers[0].ID != 0 {
+		t.Fatalf("scoped servers = %+v", snap.Servers)
+	}
+	// Out-of-scope actors keep metadata but no usage stats.
+	if snap.Actor(a1) == nil {
+		t.Fatal("out-of-scope actor metadata missing")
+	}
+	if snap.Actor(a1).CPUPerc != 0 {
+		t.Fatal("out-of-scope actor has usage stats")
+	}
+	if snap.Actor(a0).CPUPerc == 0 {
+		t.Fatal("in-scope actor lost usage stats")
+	}
+}
+
+func TestSnapshotPropsAndPins(t *testing.T) {
+	k, _, rt, p := env()
+	file := rt.SpawnOn("File", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 0)
+	folder := rt.SpawnOn("Folder", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.SetProp("files", []actor.Ref{file})
+	}), 0)
+	actor.NewClient(rt, 0).Send(folder, "init", nil, 1)
+	k.RunUntilIdle()
+	rt.Pin(file)
+	snap := p.Snapshot(nil)
+	fi := snap.Actor(folder)
+	if len(fi.Props["files"]) != 1 || fi.Props["files"][0] != file {
+		t.Fatalf("props = %+v", fi.Props)
+	}
+	if !snap.Actor(file).Pinned {
+		t.Fatal("pin not reflected")
+	}
+}
+
+func TestSnapshotFeedsEvaluator(t *testing.T) {
+	// End-to-end: profiled workload drives the PageRank balance rule.
+	k, _, rt, p := env()
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Partition}, cpu);`)
+	w := rt.SpawnOn("Partition", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(900 * sim.Millisecond)
+	}), 0)
+	actor.NewClient(rt, 1).Send(w, "compute", nil, 10)
+	k.Run(sim.Time(sim.Second))
+	k.RunUntilIdle()
+	in := epl.Evaluate(pol, p.Snapshot(nil), true, true)
+	if len(in.Balance) != 1 {
+		t.Fatalf("balance = %+v", in.Balance)
+	}
+	// Server 0 ~90% (over), server 1 0% (under): both violate.
+	if len(in.Balance[0].Violating) != 2 {
+		t.Fatalf("violating = %v", in.Balance[0].Violating)
+	}
+}
+
+func TestMessagesCounter(t *testing.T) {
+	k, _, rt, p := env()
+	ref := rt.SpawnOn("W", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {}), 0)
+	cl := actor.NewClient(rt, 0)
+	for i := 0; i < 7; i++ {
+		cl.Send(ref, "m", nil, 1)
+	}
+	k.RunUntilIdle()
+	if p.Messages() != 7 {
+		t.Fatalf("messages = %d", p.Messages())
+	}
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All of PLASMA's experiments run on virtual time: events carry a firing
+// time and a monotonically increasing sequence number, so two events
+// scheduled for the same instant fire in scheduling order, which makes every
+// run reproducible bit-for-bit from a single seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is an instant in virtual time, in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Microsecond Duration = 1
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Millis builds a Duration from a (possibly fractional) millisecond count.
+func Millis(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Micros builds a Duration from a microsecond count.
+func Micros(us float64) Duration { return Duration(us) }
+
+// Seconds reports d as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds reports t as a float64 number of seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// Stopped is set by Stop; Run returns once it is observed.
+	stopped bool
+}
+
+// New returns a kernel whose random stream is derived from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// After schedules fn to run d from now. Negative delays fire immediately.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+Time(d), fn)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Every schedules fn at now+d, then every d thereafter, until fn returns
+// false or the simulation stops.
+func (k *Kernel) Every(d Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if !fn() {
+			return
+		}
+		k.After(d, tick)
+	}
+	k.After(d, tick)
+}
+
+// Step fires the next pending event, advancing the clock. It reports whether
+// an event was fired.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 || k.stopped {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue drains, the clock passes until, or Stop
+// is called. The clock does not advance beyond the last fired event.
+func (k *Kernel) Run(until Time) {
+	for len(k.events) > 0 && !k.stopped {
+		if k.events[0].at > until {
+			k.now = until
+			return
+		}
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// RunUntilIdle fires all pending events (including ones they schedule).
+func (k *Kernel) RunUntilIdle() {
+	for k.Step() {
+	}
+}
+
+// Stop halts Run/RunUntilIdle after the current event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }

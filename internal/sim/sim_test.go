@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := New(1)
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", k.Now())
+	}
+}
+
+func TestAfterFiresInOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.After(30*Millisecond, func() { got = append(got, 3) })
+	k.After(10*Millisecond, func() { got = append(got, 1) })
+	k.After(20*Millisecond, func() { got = append(got, 2) })
+	k.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != Time(30*Millisecond) {
+		t.Fatalf("final clock %d, want %d", k.Now(), 30*Millisecond)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(Millisecond, func() { got = append(got, i) })
+	}
+	k.RunUntilIdle()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.After(-5, func() { fired = true })
+	k.RunUntilIdle()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("fired=%v now=%d; want true, 0", fired, k.Now())
+	}
+}
+
+func TestAtInPastClamped(t *testing.T) {
+	k := New(1)
+	k.After(10*Millisecond, func() {
+		k.At(Time(Millisecond), func() {})
+	})
+	k.RunUntilIdle()
+	if k.Now() != Time(10*Millisecond) {
+		t.Fatalf("clock went backwards: %d", k.Now())
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	k := New(1)
+	count := 0
+	k.Every(Second, func() bool { count++; return true })
+	k.Run(Time(5*Second + Millisecond))
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if k.Now() != Time(5*Second+Millisecond) {
+		t.Fatalf("clock = %d, want deadline", k.Now())
+	}
+}
+
+func TestRunAdvancesToDeadlineWhenIdle(t *testing.T) {
+	k := New(1)
+	k.Run(Time(7 * Second))
+	if k.Now() != Time(7*Second) {
+		t.Fatalf("clock = %d, want 7s", k.Now())
+	}
+}
+
+func TestEveryStopsOnFalse(t *testing.T) {
+	k := New(1)
+	count := 0
+	k.Every(Second, func() bool {
+		count++
+		return count < 3
+	})
+	k.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	k := New(1)
+	count := 0
+	k.Every(Second, func() bool {
+		count++
+		if count == 2 {
+			k.Stop()
+		}
+		return true
+	})
+	k.Run(Time(100 * Second))
+	if count != 2 {
+		t.Fatalf("ticks = %d, want 2", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.After(Microsecond, recurse)
+		}
+	}
+	k.After(0, recurse)
+	k.RunUntilIdle()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestDeterminismAcrossKernels(t *testing.T) {
+	run := func() []int64 {
+		k := New(42)
+		var trace []int64
+		for i := 0; i < 50; i++ {
+			d := Duration(k.Rand().Int63n(int64(Second)))
+			k.After(d, func() { trace = append(trace, int64(k.Now())) })
+		}
+		k.RunUntilIdle()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different trace lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{3 * Second, "3.000s"},
+		{Millis(1.5), "1.500ms"},
+		{250 * Microsecond, "250µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// Property: the kernel never fires events out of time order, regardless of
+// the scheduling pattern.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint32) bool {
+		k := New(7)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			k.After(Duration(d%uint32(10*Second)), func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.RunUntilIdle()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pending decreases to zero and all scheduled events fire exactly
+// once.
+func TestPropertyAllEventsFire(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New(9)
+		fired := 0
+		for _, d := range delays {
+			k.After(Duration(d), func() { fired++ })
+		}
+		k.RunUntilIdle()
+		return fired == len(delays) && k.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
