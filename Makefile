@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# verify is the pre-merge gate: everything compiles, vet is clean, and the
+# full suite passes under the race detector.
+verify: build vet race

@@ -103,6 +103,10 @@ type instance struct {
 	pendingDst cluster.MachineID // -1 when no migration requested
 	pendingFn  func(ok bool)
 	dead       bool
+
+	// migEpoch invalidates in-flight migration steps when the actor is
+	// re-homed (crash recovery) or a newer migration supersedes them.
+	migEpoch uint64
 }
 
 // Runtime hosts actors across a cluster.
@@ -126,18 +130,35 @@ type Runtime struct {
 	nextID     ID
 	actors     map[ID]*instance
 	migrations int
+
+	// inflight tracks live migrations so machine crashes can abort or roll
+	// them back; failedMigs counts migrations that did not complete.
+	inflight   map[ID]*migration
+	failedMigs int
+}
+
+// migration is one in-flight live migration.
+type migration struct {
+	inst   *instance
+	src    cluster.MachineID
+	dst    cluster.MachineID
+	epoch  uint64
+	onDone func(ok bool)
 }
 
 // NewRuntime creates a runtime over the given cluster.
 func NewRuntime(k *sim.Kernel, c *cluster.Cluster) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		K:              k,
 		C:              c,
 		BaseMsgCost:    20 * sim.Microsecond,
 		ProfilingCost:  2 * sim.Microsecond,
 		SerializePerMB: 5 * sim.Millisecond,
 		actors:         make(map[ID]*instance),
+		inflight:       make(map[ID]*migration),
 	}
+	c.OnFail(rt.onMachineFail)
+	return rt
 }
 
 // SetProfiler attaches (or detaches, with nil) the profiling hook.
@@ -148,6 +169,76 @@ func (rt *Runtime) SetPlacement(p PlacementHook) { rt.placement = p }
 
 // Migrations reports the total number of completed migrations.
 func (rt *Runtime) Migrations() int { return rt.migrations }
+
+// FailedMigrations reports migrations that started but did not complete
+// (rolled back or aborted by a machine crash).
+func (rt *Runtime) FailedMigrations() int { return rt.failedMigs }
+
+// InFlightMigrations reports migrations currently in progress; a quiesced
+// runtime must report zero (no actor may be stuck mid-move).
+func (rt *Runtime) InFlightMigrations() int { return len(rt.inflight) }
+
+// Migrating reports whether the actor is currently mid-migration.
+func (rt *Runtime) Migrating(ref Ref) bool {
+	inst := rt.actors[ref.ID]
+	return inst != nil && inst.migrating
+}
+
+// onMachineFail aborts or rolls back every in-flight migration touching the
+// crashed machine. A destination crash rolls the actor back onto its source
+// (state never left it authoritatively; buffered mail redelivers there). A
+// source crash loses the actor with the machine: the migration is aborted
+// and the actor awaits RecoverMachine like any other resident.
+func (rt *Runtime) onMachineFail(id cluster.MachineID) {
+	ids := make([]ID, 0, len(rt.inflight))
+	for aid := range rt.inflight {
+		ids = append(ids, aid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, aid := range ids {
+		mig := rt.inflight[aid]
+		switch id {
+		case mig.dst:
+			rt.abortMigration(mig, true)
+		case mig.src:
+			rt.abortMigration(mig, false)
+		}
+	}
+	// Queued (not yet begun) migrations toward the dead machine fail fast so
+	// the initiating LEM can replan instead of waiting forever.
+	for _, ref := range rt.Actors() {
+		inst := rt.actors[ref.ID]
+		if inst.pendingDst == id && !inst.migrating {
+			fn := inst.pendingFn
+			inst.pendingDst = -1
+			inst.pendingFn = nil
+			if fn != nil {
+				fn(false)
+			}
+		}
+	}
+}
+
+// abortMigration ends an in-flight migration without committing it. With
+// resume, the actor stays live on its source and message processing restarts
+// there (destination failure); without, the actor stays frozen on its dead
+// source until RecoverMachine re-homes it (source failure).
+func (rt *Runtime) abortMigration(mig *migration, resume bool) {
+	inst := mig.inst
+	if rt.inflight[inst.id] != mig {
+		return
+	}
+	delete(rt.inflight, inst.id)
+	inst.migEpoch++ // invalidate the migration's still-scheduled steps
+	inst.migrating = false
+	rt.failedMigs++
+	if mig.onDone != nil {
+		mig.onDone(false)
+	}
+	if resume {
+		rt.pump(inst)
+	}
+}
 
 // Spawn creates an actor of the given type, placed via the placement hook
 // when one is attached, otherwise on a random up machine.
@@ -204,12 +295,27 @@ func (rt *Runtime) RecoverMachine(srv cluster.MachineID) int {
 	n := 0
 	for _, ref := range rt.ActorsOn(srv) {
 		inst := rt.actors[ref.ID]
+		if mig := rt.inflight[inst.id]; mig != nil {
+			// The machine's crash hook normally aborts these; clean up here
+			// too so recovery is safe even if invoked on its own.
+			delete(rt.inflight, inst.id)
+			rt.failedMigs++
+			if mig.onDone != nil {
+				mig.onDone(false)
+			}
+		}
 		dst := up[rt.K.Rand().Intn(len(up))]
 		inst.srv = dst.ID
 		inst.lastMove = rt.K.Now()
 		inst.busy = false // in-flight processing died with the machine
 		inst.migrating = false
+		inst.migEpoch++ // strand any step of a migration begun before the crash
+		fn := inst.pendingFn
 		inst.pendingDst = -1
+		inst.pendingFn = nil
+		if fn != nil {
+			fn(false)
+		}
 		dst.AddMem(inst.memSize)
 		n++
 		rt.pump(inst)
@@ -217,13 +323,27 @@ func (rt *Runtime) RecoverMachine(srv cluster.MachineID) int {
 	return n
 }
 
-// Stop removes an actor permanently. Queued messages are dropped.
+// Stop removes an actor permanently. Queued messages are dropped; an
+// in-flight migration is aborted (its initiator is told it failed).
 func (rt *Runtime) Stop(ref Ref) {
 	inst := rt.actors[ref.ID]
 	if inst == nil {
 		return
 	}
 	inst.dead = true
+	if mig := rt.inflight[inst.id]; mig != nil {
+		delete(rt.inflight, inst.id)
+		inst.migEpoch++
+		rt.failedMigs++
+		if mig.onDone != nil {
+			mig.onDone(false)
+		}
+	}
+	if fn := inst.pendingFn; fn != nil {
+		inst.pendingDst = -1
+		inst.pendingFn = nil
+		fn(false)
+	}
 	rt.C.Machine(inst.srv).AddMem(-inst.memSize)
 	delete(rt.actors, ref.ID)
 }
@@ -455,24 +575,45 @@ func (rt *Runtime) beginMigration(inst *instance) {
 		return
 	}
 	inst.migrating = true
+	inst.migEpoch++
+	mig := &migration{inst: inst, src: inst.srv, dst: dst, epoch: inst.migEpoch, onDone: onDone}
+	rt.inflight[inst.id] = mig
 	src := inst.srv
 	stateMB := float64(inst.memSize) / (1 << 20)
 	serCost := sim.Duration(stateMB * float64(rt.SerializePerMB))
 
 	// Serialize on the source, transfer, deserialize on the destination,
-	// then resume message processing there.
+	// then resume message processing there. Every asynchronous step
+	// revalidates the migration: a crash of either endpoint (or a Stop, or a
+	// crash-recovery re-home) aborts it via the epoch guard, and the actor
+	// either resumes on its source with its buffered mail intact or awaits
+	// RecoverMachine — never a permanently stuck `migrating` flag.
 	rt.C.Machine(src).Exec(serCost, func() {
+		if !rt.migValid(mig) {
+			return
+		}
 		lat := rt.C.TransferLatency(src, dst, inst.memSize)
 		rt.C.Machine(src).AddNetBytes(inst.memSize)
 		rt.C.Machine(dst).AddNetBytes(inst.memSize)
 		rt.K.After(lat, func() {
+			if !rt.migValid(mig) {
+				return
+			}
+			if !rt.C.Machine(dst).Up() {
+				// Destination lost mid-transfer (e.g. decommissioned; crashes
+				// are caught by the failure hook): roll back to the source.
+				rt.abortMigration(mig, true)
+				return
+			}
 			rt.C.Machine(dst).Exec(serCost, func() {
-				if inst.dead {
-					if onDone != nil {
-						onDone(false)
-					}
+				if !rt.migValid(mig) {
 					return
 				}
+				if !rt.C.Machine(dst).Up() {
+					rt.abortMigration(mig, true)
+					return
+				}
+				delete(rt.inflight, inst.id)
 				rt.C.Machine(src).AddMem(-inst.memSize)
 				rt.C.Machine(dst).AddMem(inst.memSize)
 				inst.srv = dst
@@ -486,6 +627,12 @@ func (rt *Runtime) beginMigration(inst *instance) {
 			})
 		})
 	})
+}
+
+// migValid reports whether an in-flight migration is still the actor's
+// current one (not aborted, superseded, or orphaned by death/recovery).
+func (rt *Runtime) migValid(mig *migration) bool {
+	return rt.inflight[mig.inst.id] == mig && mig.inst.migEpoch == mig.epoch && !mig.inst.dead
 }
 
 // Context carries per-message runtime operations for Behavior.Receive.

@@ -50,9 +50,10 @@ type Machine struct {
 	ID   MachineID
 	Type InstanceType
 
-	k      *sim.Kernel
-	up     bool
-	failed bool
+	k        *sim.Kernel
+	up       bool
+	failed   bool
+	decommed bool // permanently removed; Repair must not resurrect it
 
 	active []*work // currently running, len <= VCPUs
 	queue  []*work // waiting for a core
@@ -68,6 +69,10 @@ func (m *Machine) Up() bool { return m.up && !m.failed }
 
 // Failed reports whether the machine has crashed.
 func (m *Machine) Failed() bool { return m.failed }
+
+// Decommissioned reports whether the machine has been permanently removed
+// from service.
+func (m *Machine) Decommissioned() bool { return m.decommed }
 
 // ScaledCost converts a baseline CPU cost into this machine's actual
 // execution (core-occupancy) time.
@@ -200,6 +205,10 @@ type Cluster struct {
 
 	provisions    int // total Provision calls, for experiment accounting
 	decommissions int
+
+	// onFail hooks fire synchronously when a machine crashes, letting the
+	// actor runtime abort in-flight migrations deterministically.
+	onFail []func(MachineID)
 }
 
 // New creates a cluster with n machines of the given type, already booted.
@@ -240,6 +249,10 @@ func (c *Cluster) Provision(typ InstanceType, onUp func(*Machine)) *Machine {
 	return m
 }
 
+// OnFail registers a hook invoked synchronously whenever a machine crashes
+// (after its run queues have been dropped).
+func (c *Cluster) OnFail(fn func(MachineID)) { c.onFail = append(c.onFail, fn) }
+
 // Fail crashes a machine: it leaves service immediately, in-flight and
 // queued work is lost, and nothing can execute on it until the experiment
 // explicitly repairs it with Repair. Returns false for unknown/down ids.
@@ -251,14 +264,18 @@ func (c *Cluster) Fail(id MachineID) bool {
 	m.failed = true
 	m.active = nil
 	m.queue = nil
+	for _, fn := range c.onFail {
+		fn(id)
+	}
 	return true
 }
 
 // Repair returns a failed machine to service with empty run queues and a
-// fresh accounting window.
+// fresh accounting window. A decommissioned machine is gone for good:
+// repairing it is rejected and it never re-enters UpMachines.
 func (c *Cluster) Repair(id MachineID) bool {
 	m := c.Machine(id)
-	if m == nil || !m.failed {
+	if m == nil || !m.failed || m.decommed {
 		return false
 	}
 	m.failed = false
@@ -267,17 +284,20 @@ func (c *Cluster) Repair(id MachineID) bool {
 	return true
 }
 
-// Decommission removes a machine from service. The caller is responsible
-// for having evacuated it first.
+// Decommission removes a machine from service permanently. The caller is
+// responsible for having evacuated it first. A crashed (failed) machine may
+// be decommissioned — it is down either way — but a decommissioned machine
+// can never be repaired back into service.
 func (c *Cluster) Decommission(id MachineID) error {
 	m := c.Machine(id)
 	if m == nil {
 		return fmt.Errorf("cluster: no machine %d", id)
 	}
-	if !m.up {
+	if !m.up || m.decommed {
 		return fmt.Errorf("cluster: machine %d is not up", id)
 	}
 	m.up = false
+	m.decommed = true
 	c.decommissions++
 	return nil
 }

@@ -192,6 +192,45 @@ func TestDecommission(t *testing.T) {
 	}
 }
 
+// Repair after Decommission must be well-defined: a decommissioned machine
+// is gone for good and never resurrects into UpMachines, whether it was
+// healthy or crashed when removed.
+func TestRepairAfterDecommissionRefused(t *testing.T) {
+	k := sim.New(1)
+	c := New(k, 3, M1Small)
+	if err := c.Decommission(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Repair(0) {
+		t.Fatal("repaired a decommissioned machine")
+	}
+	if c.Machine(0).Up() || c.UpCount() != 2 {
+		t.Fatal("decommissioned machine resurrected")
+	}
+	if !c.Machine(0).Decommissioned() {
+		t.Fatal("Decommissioned() not reported")
+	}
+	// A crashed machine may be decommissioned (it is down either way)...
+	if !c.Fail(1) {
+		t.Fatal("Fail rejected")
+	}
+	if err := c.Decommission(1); err != nil {
+		t.Fatalf("decommissioning a crashed machine: %v", err)
+	}
+	// ...after which repair is refused for it too.
+	if c.Repair(1) {
+		t.Fatal("repaired a crashed-then-decommissioned machine")
+	}
+	if c.Machine(1).Up() {
+		t.Fatal("machine resurrected")
+	}
+	for _, m := range c.UpMachines() {
+		if m.ID == 0 || m.ID == 1 {
+			t.Fatal("decommissioned machine in UpMachines")
+		}
+	}
+}
+
 func TestTransferLatency(t *testing.T) {
 	k := sim.New(1)
 	c := New(k, 2, M1Small) // 250 Mbps

@@ -1,0 +1,239 @@
+package emr
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/chaos"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// Control-plane chaos: the EMR must degrade gracefully — not stall, not
+// double-execute — when REPORT/RREPLY/QUERY/QREPLY messages are dropped,
+// delayed, or duplicated by a seeded injector.
+
+func hotServerEnv(t *testing.T) (*env, []actor.Ref, *epl.Policy) {
+	t.Helper()
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	return e, refs, pol
+}
+
+// Acceptance: with a fixed fraction of REPORTs dropped, GEMs still evaluate
+// at the report-window deadline on the partial snapshot (retransmissions and
+// the stale cache filling the gaps) and elasticity actions still happen.
+func TestGEMProceedsOnPartialSnapshotUnderReportLoss(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	inj := chaos.NewInjector(7, e.k.Now)
+	inj.SetFaults(chaos.Report, chaos.Faults{DropProb: 0.5})
+	m.SetChaos(inj)
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(20 * sim.Second))
+
+	if inj.Stats.Dropped[chaos.Report] == 0 {
+		t.Fatal("injector dropped nothing; test is vacuous")
+	}
+	if m.Stats.RetriedReports == 0 {
+		t.Fatal("no REPORT retransmissions under loss")
+	}
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("elasticity stalled under REPORT loss")
+	}
+	on0, on1 := len(e.rt.ActorsOn(0)), len(e.rt.ActorsOn(1))
+	if on1 == 0 {
+		t.Fatalf("load never left the hot server (0:%d 1:%d)", on0, on1)
+	}
+	if on0+on1 != 4 {
+		t.Fatalf("workers lost under chaos: %d + %d", on0, on1)
+	}
+}
+
+// Under heavy loss the retry budget is often exhausted; the GEM then plans
+// on cached REPORTs no older than StalePeriods.
+func TestStaleCacheStandsInForLostReports(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	inj := chaos.NewInjector(3, e.k.Now)
+	inj.SetFaults(chaos.Report, chaos.Faults{DropProb: 0.7})
+	m.SetChaos(inj)
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(30 * sim.Second))
+
+	if m.Stats.StaleReportsUsed == 0 {
+		t.Fatal("stale cache never used under 70% REPORT loss")
+	}
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("elasticity stalled under heavy REPORT loss")
+	}
+	if len(e.rt.ActorsOn(0))+len(e.rt.ActorsOn(1)) != 4 {
+		t.Fatal("workers lost under chaos")
+	}
+}
+
+// A lost admission reply is a denial, not a hang: the source LEM times out,
+// counts it, and the planner replans next period.
+func TestQueryReplyLossTimesOutIntoDenial(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	inj := chaos.NewInjector(5, e.k.Now)
+	inj.SetFaults(chaos.QReply, chaos.Faults{DropProb: 1})
+	m.SetChaos(inj)
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(10 * sim.Second))
+
+	if m.Stats.QueryTimeouts == 0 {
+		t.Fatal("no query timeouts with every QREPLY dropped")
+	}
+	if m.Stats.DeniedAdmissions == 0 {
+		t.Fatal("timeouts not counted as denials")
+	}
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatal("migration executed without an admission reply")
+	}
+	for _, r := range refs {
+		if e.rt.ServerOf(r) != 0 {
+			t.Fatal("actor moved despite denied admissions")
+		}
+	}
+}
+
+// Duplicated control messages must be idempotent end to end: a run with
+// every message duplicated behaves exactly like the clean run.
+func TestDuplicatedMessagesAreIdempotent(t *testing.T) {
+	run := func(dup bool) (Stats, int, int) {
+		e, refs, pol := hotServerEnv(t)
+		m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+		if dup {
+			inj := chaos.NewInjector(9, e.k.Now)
+			inj.SetAllFaults(chaos.Faults{DupProb: 1})
+			m.SetChaos(inj)
+		}
+		m.Start()
+		startWork(e, refs...)
+		e.k.Run(sim.Time(15 * sim.Second))
+		return m.Stats, len(e.rt.ActorsOn(0)), len(e.rt.ActorsOn(1))
+	}
+	clean, c0, c1 := run(false)
+	dup, d0, d1 := run(true)
+	if clean.ExecutedMigrations == 0 {
+		t.Fatal("clean run executed no migrations; test is vacuous")
+	}
+	if dup.ExecutedMigrations != clean.ExecutedMigrations {
+		t.Fatalf("duplication changed executed migrations: %d vs %d",
+			dup.ExecutedMigrations, clean.ExecutedMigrations)
+	}
+	if d0 != c0 || d1 != c1 {
+		t.Fatalf("duplication changed placement: (%d,%d) vs (%d,%d)", d0, d1, c0, c1)
+	}
+}
+
+// Delayed messages that miss their period's deadline are simply lost for
+// that period; elasticity still converges and no actor is lost.
+func TestDelayedMessagesDoNotBreakPeriods(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	inj := chaos.NewInjector(11, e.k.Now)
+	inj.SetAllFaults(chaos.Faults{DelayProb: 0.5, MaxDelay: 50 * sim.Millisecond})
+	m.SetChaos(inj)
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(20 * sim.Second))
+
+	if inj.Stats.TotalDelayed() == 0 {
+		t.Fatal("injector delayed nothing; test is vacuous")
+	}
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("elasticity stalled under delays")
+	}
+	if len(e.rt.ActorsOn(0))+len(e.rt.ActorsOn(1)) != 4 {
+		t.Fatal("workers lost under delays")
+	}
+}
+
+// A crashed LEM takes its server out of the control plane: no REPORTs, no
+// admission answers, no actions — while its actors keep running. Recovery
+// re-registers it.
+func TestFailLEMRemovesServerFromControlPlane(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	m.Start()
+	if !m.FailLEM(1) {
+		t.Fatal("FailLEM rejected")
+	}
+	startWork(e, refs...)
+	e.k.Run(sim.Time(8 * sim.Second))
+	// The only balance target's LEM is dead: nothing can be admitted there,
+	// but the workers keep running on server 0.
+	if m.Stats.ExecutedMigrations != 0 {
+		t.Fatal("migrated onto a server whose LEM is dead")
+	}
+	if len(e.rt.ActorsOn(0)) != 4 {
+		t.Fatal("actors stopped running under LEM failure")
+	}
+
+	if !m.RecoverLEM(1) {
+		t.Fatal("RecoverLEM rejected")
+	}
+	e.k.Run(sim.Time(20 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("no migrations after LEM recovery")
+	}
+	if len(e.rt.ActorsOn(1)) == 0 {
+		t.Fatal("load never balanced after LEM recovery")
+	}
+	_ = refs
+}
+
+// The K-quorum discounts crashed LEMs: with K=2 over three servers, losing
+// one LEM leaves two reports, which must still clear the (discounted)
+// quorum and keep resource rules running on the survivors.
+func TestKQuorumDiscountsFailedLEMs(t *testing.T) {
+	e := newEnv(1, 3, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(45), 0))
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond, K: 2})
+	m.Start()
+	if !m.FailLEM(2) {
+		t.Fatal("FailLEM rejected")
+	}
+	startWork(e, refs...)
+	e.k.Run(sim.Time(15 * sim.Second))
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("quorum did not account for the dead LEM")
+	}
+	if len(e.rt.ActorsOn(2)) != 0 {
+		t.Fatal("migrated onto the server with the dead LEM")
+	}
+	if len(e.rt.ActorsOn(0))+len(e.rt.ActorsOn(1)) != 4 {
+		t.Fatal("workers lost")
+	}
+}
+
+func TestFailLEMBounds(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	m := New(e.k, e.c, e.rt, e.prof, epl.MustParse(`true => pin(A(a));`), Config{Period: sim.Second})
+	if m.FailLEM(99) {
+		t.Fatal("FailLEM accepted an unknown machine")
+	}
+	if m.RecoverLEM(99) {
+		t.Fatal("RecoverLEM accepted an unknown machine")
+	}
+	if m.RecoverLEM(0) {
+		t.Fatal("RecoverLEM accepted a healthy LEM")
+	}
+	if !m.FailLEM(0) || !m.RecoverLEM(0) {
+		t.Fatal("fail/recover round trip rejected")
+	}
+}

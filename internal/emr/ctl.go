@@ -1,0 +1,178 @@
+package emr
+
+import (
+	"fmt"
+	"sort"
+
+	"plasma/internal/chaos"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+)
+
+// This file is the EMR's control-plane transport: REPORT/RREPLY/QUERY/QREPLY
+// travel as real (simulated) messages that a chaos interceptor may drop,
+// delay, or duplicate. LEMs retransmit unacknowledged REPORTs with capped
+// exponential backoff; GEMs evaluate at a fixed report-window deadline on
+// whatever arrived, filling gaps from a bounded-staleness cache; admission
+// queries time out into denials. Receivers deduplicate, so duplication is
+// harmless. With no interceptor installed every message is delivered after
+// exactly GEMLatency and the flow degenerates to the original lossless one.
+
+func lemName(srv cluster.MachineID) string { return fmt.Sprintf("lem%d", srv) }
+func gemName(id int) string                { return fmt.Sprintf("gem%d", id) }
+
+// SetChaos installs (or, with nil, removes) the control-plane fault
+// interceptor. Install before Start.
+func (m *Manager) SetChaos(i chaos.Interceptor) { m.chaosI = i }
+
+// sendCtl delivers one control-plane message after GEMLatency, subject to
+// the chaos interceptor. A duplicated message is delivered a second time one
+// extra hop later; receivers are responsible for deduplication.
+func (m *Manager) sendCtl(kind chaos.MsgKind, from, to string, deliver func()) {
+	lat := m.Cfg.GEMLatency
+	if m.chaosI != nil {
+		switch d := m.chaosI.Intercept(kind, from, to); d.Verdict {
+		case chaos.Drop:
+			return
+		case chaos.Delay:
+			lat += d.Delay
+		case chaos.Duplicate:
+			m.K.After(lat+m.Cfg.GEMLatency, deliver)
+		}
+	}
+	m.K.After(lat, deliver)
+}
+
+// lemReport is Alg. 1 line 11 with a lossy network: the LEM sends its
+// REPORT to a randomly chosen live GEM and retransmits with doubled,
+// capped backoff until the GEM's ack (an RREPLY) lands or the retry budget
+// is spent. Retries re-pick among the GEMs alive at retry time, so a GEM
+// crash mid-period only costs one timeout.
+func (m *Manager) lemReport(l *lem, snap *epl.Snapshot, tickIdx, attempt int) {
+	if l.acked || l.failed || m.Stats.Ticks != tickIdx {
+		return
+	}
+	alive := m.aliveGEMs()
+	if len(alive) == 0 {
+		return // no GEM: interaction rules still ran locally (§4.3)
+	}
+	g := alive[m.K.Rand().Intn(len(alive))]
+	if attempt > 0 {
+		m.Stats.RetriedReports++
+	}
+	srv := l.srv
+	info := snap.Server(srv)
+	m.sendCtl(chaos.Report, lemName(srv), gemName(g.id), func() {
+		if g.failed || m.Stats.Ticks != tickIdx {
+			return
+		}
+		if !g.got[srv] { // duplicate/retransmitted REPORTs collapse
+			g.got[srv] = true
+			g.reports = append(g.reports, report{srv: srv, info: info})
+		}
+		m.sendCtl(chaos.RReply, gemName(g.id), lemName(srv), func() {
+			if m.Stats.Ticks == tickIdx {
+				l.acked = true
+			}
+		})
+	})
+	if attempt < m.Cfg.ReportRetries {
+		wait := m.Cfg.ReportTimeout << uint(attempt)
+		if max := 4 * m.Cfg.ReportTimeout; wait > max {
+			wait = max
+		}
+		m.K.After(wait, func() { m.lemReport(l, snap, tickIdx, attempt+1) })
+	}
+}
+
+// rreplyActions distributes a GEM's planned actions to their source LEMs as
+// RREPLY messages (deduplicated per destination).
+func (m *Manager) rreplyActions(g *gem, tickIdx int, actions []Action) {
+	bySrc := map[cluster.MachineID][]Action{}
+	for _, a := range actions {
+		bySrc[a.Src] = append(bySrc[a.Src], a)
+	}
+	srcs := make([]cluster.MachineID, 0, len(bySrc))
+	for srv := range bySrc {
+		srcs = append(srcs, srv)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, srv := range srcs {
+		srv, acts := srv, bySrc[srv]
+		delivered := false
+		m.sendCtl(chaos.RReply, gemName(g.id), lemName(srv), func() {
+			if delivered || m.Stats.Ticks != tickIdx {
+				return
+			}
+			delivered = true
+			l := m.lemFor(srv)
+			if l.failed {
+				return
+			}
+			l.gemActions = append(l.gemActions, acts...)
+		})
+	}
+}
+
+// queryAdmission runs one action's QUERY/QREPLY round trip: the target's
+// LEM answers the admission check (Table 2a) where the promised-resource
+// ledger lives; the source LEM migrates on a positive QREPLY and treats a
+// timed-out query — lost message, lost reply, or dead target LEM — as a
+// denial, leaving the planner to retry or replan next period.
+func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
+	tickIdx := m.Stats.Ticks
+	processed := false // dedups duplicate QUERY deliveries at the target
+	answered := false  // dedups duplicate QREPLYs and the timeout at the source
+	m.sendCtl(chaos.Query, lemName(a.Src), lemName(a.Trg), func() {
+		if processed || m.Stats.Ticks != tickIdx {
+			return
+		}
+		processed = true
+		if tl := m.lemFor(a.Trg); tl.failed {
+			return // dead target LEM: silence; the source times out
+		}
+		ok := m.checkIdleRes(a, snap)
+		if ok && a.Kind == epl.KindReserve {
+			m.reserved[a.Trg] = a.Actor
+		}
+		m.sendCtl(chaos.QReply, lemName(a.Trg), lemName(a.Src), func() {
+			if answered || m.Stats.Ticks != tickIdx {
+				return
+			}
+			answered = true
+			if !ok {
+				m.Stats.DeniedAdmissions++
+				return
+			}
+			m.execMigration(a, repin)
+		})
+	})
+	m.K.After(m.Cfg.QueryTimeout, func() {
+		if answered || m.Stats.Ticks != tickIdx {
+			return
+		}
+		answered = true
+		m.Stats.QueryTimeouts++
+		m.Stats.DeniedAdmissions++
+	})
+}
+
+// execMigration carries out an admitted action via live migration.
+func (m *Manager) execMigration(a Action, repin bool) {
+	if m.RT.ServerOf(a.Actor) != a.Src {
+		return // the actor moved during the admission round trip
+	}
+	if repin {
+		m.RT.Unpin(a.Actor)
+	}
+	m.RT.Migrate(a.Actor, a.Trg, func(ok bool) {
+		if repin {
+			m.RT.Pin(a.Actor)
+		}
+		if ok {
+			m.Stats.ExecutedMigrations++
+		} else if a.Kind == epl.KindReserve && m.reserved[a.Trg] == a.Actor {
+			delete(m.reserved, a.Trg)
+		}
+	})
+}

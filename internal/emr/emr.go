@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"plasma/internal/actor"
+	"plasma/internal/chaos"
 	"plasma/internal/cluster"
 	"plasma/internal/epl"
 	"plasma/internal/profile"
@@ -54,6 +55,27 @@ type Config struct {
 	MinResidence sim.Duration
 	// GEMLatency models one LEM<->GEM message hop.
 	GEMLatency sim.Duration
+	// ReportTimeout is how long a LEM waits for the GEM's REPORT ack before
+	// retransmitting; the wait doubles per attempt, capped at 4x. Default
+	// 4*GEMLatency.
+	ReportTimeout sim.Duration
+	// ReportRetries caps REPORT retransmissions per period (default 2, so
+	// up to three sends).
+	ReportRetries int
+	// ReportWindow is how long after the period starts a GEM waits before
+	// evaluating with whatever REPORTs arrived (partial snapshots instead
+	// of stalling). Default 4*ReportTimeout.
+	ReportWindow sim.Duration
+	// ExecDelay is when LEMs resolve and execute the period's actions;
+	// RREPLYs arriving later are lost for the period. Default
+	// ReportWindow + 4*GEMLatency.
+	ExecDelay sim.Duration
+	// QueryTimeout is how long a source LEM waits for an admission QREPLY
+	// before treating the migration as denied. Default 4*GEMLatency.
+	QueryTimeout sim.Duration
+	// StalePeriods bounds how many periods old a cached REPORT may be and
+	// still stand in for a lost one in the GEM's snapshot. Default 2.
+	StalePeriods int
 	// ScaleOut/ScaleIn enable dynamic resource allocation.
 	ScaleOut bool
 	ScaleIn  bool
@@ -104,6 +126,24 @@ func (c Config) withDefaults() Config {
 	if c.GEMLatency == 0 {
 		c.GEMLatency = sim.Millis(1)
 	}
+	if c.ReportTimeout == 0 {
+		c.ReportTimeout = 4 * c.GEMLatency
+	}
+	if c.ReportRetries == 0 {
+		c.ReportRetries = 2
+	}
+	if c.ReportWindow == 0 {
+		c.ReportWindow = 4 * c.ReportTimeout
+	}
+	if c.ExecDelay == 0 {
+		c.ExecDelay = c.ReportWindow + 4*c.GEMLatency
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 4 * c.GEMLatency
+	}
+	if c.StalePeriods == 0 {
+		c.StalePeriods = 2
+	}
 	if c.MinServers <= 0 {
 		c.MinServers = 1
 	}
@@ -122,6 +162,11 @@ type Stats struct {
 	ResolvedConflicts  int
 	ScaleOuts          int
 	ScaleIns           int
+
+	// Control-plane robustness counters.
+	RetriedReports   int // REPORT retransmissions after an ack timeout
+	QueryTimeouts    int // admission queries treated as denials on timeout
+	StaleReportsUsed int // cache entries standing in for lost REPORTs
 }
 
 // Manager wires the EMR to an application: policy, profiler, cluster, and
@@ -149,26 +194,41 @@ type Manager struct {
 	Stats   Stats
 	running bool
 	booting int // provisioned machines not yet up (scale-out cooldown)
+
+	chaosI chaos.Interceptor // nil = reliable control plane
 }
 
 type lem struct {
 	srv cluster.MachineID
 
-	gemActions []Action // actions received from the GEM this period
+	gemActions []Action // actions received via RREPLY this period
 
 	// admission ledger: extra resource share already promised to inbound
 	// actors this period, per resource.
 	promised [3]float64
+
+	failed bool // crashed LEM: no reports, no queries answered, no actions
+	acked  bool // this period's REPORT was acknowledged (stops retransmits)
 }
 
 type gem struct {
 	id      int
 	reports []report
+	got     map[cluster.MachineID]bool // REPORT dedup for this period
 	failed  bool
+
+	// cache holds each server's last REPORT for bounded-staleness reuse
+	// when a period's REPORT is lost.
+	cache map[cluster.MachineID]cachedReport
 
 	// view flags from the last processed period, for adjustment voting.
 	allOver  bool
 	allUnder bool
+}
+
+type cachedReport struct {
+	info *epl.ServerInfo
+	tick int
 }
 
 type report struct {
@@ -185,7 +245,11 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		draining: make(map[cluster.MachineID]bool),
 	}
 	for i := 0; i < m.Cfg.NumGEMs; i++ {
-		m.gems = append(m.gems, &gem{id: i})
+		m.gems = append(m.gems, &gem{
+			id:    i,
+			got:   make(map[cluster.MachineID]bool),
+			cache: make(map[cluster.MachineID]cachedReport),
+		})
 	}
 	return m
 }
@@ -232,6 +296,43 @@ func (m *Manager) RecoverGEM(id int) bool {
 	return true
 }
 
+// FailLEM simulates the crash of one server's local elasticity manager:
+// the server stops reporting (so it drops out of the global snapshot once
+// its cached REPORTs age past StalePeriods), answers no admission queries,
+// and receives no actions — but its actors keep running; this is a
+// control-plane failure, not a machine failure. Returns false if no such
+// machine exists.
+func (m *Manager) FailLEM(srv cluster.MachineID) bool {
+	if m.C.Machine(srv) == nil {
+		return false
+	}
+	m.lemFor(srv).failed = true
+	return true
+}
+
+// RecoverLEM re-registers a failed LEM; its server rejoins the global
+// snapshot at the next period's REPORT. Returns false if no such machine
+// exists or the LEM was not failed.
+func (m *Manager) RecoverLEM(srv cluster.MachineID) bool {
+	if m.C.Machine(srv) == nil || !m.lemFor(srv).failed {
+		return false
+	}
+	m.lemFor(srv).failed = false
+	return true
+}
+
+// failedLEMCount counts crashed LEMs on machines that are still up — the
+// servers whose REPORTs the K-quorum must not wait for.
+func (m *Manager) failedLEMCount() int {
+	n := 0
+	for _, mach := range m.C.UpMachines() {
+		if l := m.lems[mach.ID]; l != nil && l.failed {
+			n++
+		}
+	}
+	return n
+}
+
 // aliveGEMs lists the GEMs currently accepting reports.
 func (m *Manager) aliveGEMs() []*gem {
 	var out []*gem
@@ -276,11 +377,13 @@ func (m *Manager) tick() {
 	// Phase 1 — LEMs: apply interaction rules locally, report to a GEM.
 	for _, g := range m.gems {
 		g.reports = nil
+		g.got = make(map[cluster.MachineID]bool)
 	}
 	for _, mach := range up {
 		l := m.lemFor(mach.ID)
 		l.gemActions = nil
 		l.promised = [3]float64{}
+		l.acked = false
 	}
 	// Pins first so planners see them.
 	inter := epl.Evaluate(m.Pol, snap, false, true)
@@ -291,31 +394,33 @@ func (m *Manager) tick() {
 	for _, ai := range snap.Actors {
 		ai.Pinned = m.RT.Pinned(ai.Ref)
 	}
-	alive := m.aliveGEMs()
+	// Alg. 1 line 11: each live LEM sends its REPORT (with ack-driven
+	// retransmission) to a randomly chosen live GEM — the shuffling that
+	// makes GEM failure harmless.
 	for _, mach := range up {
-		l := m.lemFor(mach.ID)
-		if len(alive) == 0 {
-			continue // no GEM: interaction rules still ran above (§4.3)
-		}
-		// Alg. 1 line 11: each LEM reports to a randomly chosen live GEM
-		// (the shuffling that makes GEM failure harmless).
-		g := alive[m.K.Rand().Intn(len(alive))]
-		g.reports = append(g.reports, report{srv: l.srv, info: snap.Server(l.srv)})
+		m.lemReport(m.lemFor(mach.ID), snap, tickIdx, 0)
 	}
 
-	// Phase 2 — GEMs: apply resource rules over reporting servers.
-	m.K.After(m.Cfg.GEMLatency, func() {
+	// Phase 2 — GEMs: at the report-window deadline, apply resource rules
+	// over whatever REPORTs arrived (plus bounded-staleness cache fills).
+	m.K.After(m.Cfg.ReportWindow, func() {
+		if m.Stats.Ticks != tickIdx {
+			return
+		}
 		for _, g := range m.gems {
 			if g.failed {
 				continue
 			}
-			m.gemProcess(g, snap)
+			m.gemProcess(g, snap, tickIdx)
 		}
-		// Phase 3 — LEMs: plan interaction actions against the GEM
-		// actions' destinations, resolve conflicts, query targets, migrate.
-		m.K.After(m.Cfg.GEMLatency, func() {
-			m.resolveAndExecute(snap, inter)
-		})
+	})
+	// Phase 3 — LEMs: plan interaction actions against the GEM actions'
+	// destinations, resolve conflicts, query targets, migrate.
+	m.K.After(m.Cfg.ExecDelay, func() {
+		if m.Stats.Ticks != tickIdx {
+			return
+		}
+		m.resolveAndExecute(snap, inter)
 	})
 }
 
@@ -352,50 +457,81 @@ func (m *Manager) finishDraining() {
 	}
 }
 
-// gemProcess is Alg. 2: build the global snapshot over reporting servers,
-// apply resource rules, distribute actions, and drive scale adjustment.
-func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot) {
-	if len(g.reports) <= m.Cfg.K {
+// gemProcess is Alg. 2 at the report-window deadline: build the global
+// snapshot over the servers whose REPORTs arrived — filling gaps with
+// bounded-staleness cache entries, so a lossy control plane degrades the
+// view instead of stalling it — apply resource rules, distribute actions
+// as RREPLY messages, and drive scale adjustment. The K-quorum discounts
+// crashed LEMs: their REPORTs are not coming.
+func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
+	// Refresh the cache from this period's arrivals.
+	for _, r := range g.reports {
+		if r.info != nil {
+			g.cache[r.srv] = cachedReport{info: r.info, tick: tickIdx}
+		}
+	}
+	combined := append([]report(nil), g.reports...)
+	if len(g.reports) > 0 {
+		// Stand in for lost REPORTs with cached ones that are fresh enough,
+		// from machines still up whose LEMs still live.
+		srvs := make([]cluster.MachineID, 0, len(g.cache))
+		for srv := range g.cache {
+			srvs = append(srvs, srv)
+		}
+		sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+		for _, srv := range srvs {
+			c := g.cache[srv]
+			if tickIdx-c.tick > m.Cfg.StalePeriods {
+				delete(g.cache, srv)
+				continue
+			}
+			if g.got[srv] || m.lemFor(srv).failed {
+				continue
+			}
+			if mach := m.C.Machine(srv); mach == nil || !mach.Up() {
+				continue
+			}
+			m.Stats.StaleReportsUsed++
+			combined = append(combined, report{srv: srv, info: c.info})
+		}
+	}
+
+	effK := m.Cfg.K - m.failedLEMCount()
+	if effK < 0 {
+		effK = 0
+	}
+	if len(combined) <= effK {
 		return
 	}
-	scope := make([]cluster.MachineID, 0, len(g.reports))
-	for _, r := range g.reports {
+	scope := make([]cluster.MachineID, 0, len(combined))
+	for _, r := range combined {
 		scope = append(scope, r.srv)
 	}
 	sort.Slice(scope, func(i, j int) bool { return scope[i] < scope[j] })
 
-	res := epl.Evaluate(m.Pol, subSnapshot(snap, scope), true, false)
-	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, snap, res)
+	// The GEM's view is built from REPORT payloads (fresh or cached), not
+	// from the profiler directly: what the GEM plans on is exactly what the
+	// network delivered.
+	gemView := &epl.Snapshot{At: snap.At, Window: snap.Window, Actors: snap.Actors}
+	for _, srv := range scope {
+		if c, ok := g.cache[srv]; ok && c.info != nil {
+			gemView.Servers = append(gemView.Servers, c.info)
+		}
+	}
+	gemView = gemView.Index()
+
+	res := epl.Evaluate(m.Pol, gemView, true, false)
+	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, gemView, res)
 	g.allOver = allOver
 	g.allUnder = allUnder
 	m.Stats.PlannedActions += len(actions)
-	for _, a := range actions {
-		l := m.lemFor(a.Src)
-		l.gemActions = append(l.gemActions, a)
-	}
+	m.rreplyActions(g, tickIdx, actions)
 	if outNeed > 0 && m.Cfg.ScaleOut {
 		m.tryScaleOut(g, outNeed)
 	}
 	if wantIn && m.Cfg.ScaleIn && len(actions) == 0 {
-		m.tryScaleIn(g, scope, snap)
+		m.tryScaleIn(g, scope, gemView)
 	}
-}
-
-// subSnapshot restricts a snapshot's servers to scope (actors keep global
-// metadata; out-of-scope actors simply have no server entry and cannot
-// anchor rules).
-func subSnapshot(snap *epl.Snapshot, scope []cluster.MachineID) *epl.Snapshot {
-	in := map[cluster.MachineID]bool{}
-	for _, id := range scope {
-		in[id] = true
-	}
-	sub := &epl.Snapshot{At: snap.At, Window: snap.Window, Actors: snap.Actors}
-	for _, s := range snap.Servers {
-		if in[s.ID] {
-			sub.Servers = append(sub.Servers, s)
-		}
-	}
-	return sub.Index()
 }
 
 // resolveAndExecute is Alg. 1 lines 13-22: plan interaction actions with
@@ -411,6 +547,9 @@ func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
 
 	var all []Action
 	for _, srv := range srvs {
+		if m.lems[srv].failed {
+			continue
+		}
 		all = append(all, m.lems[srv].gemActions...)
 	}
 	interActions := m.planInteraction(snap, inter, all)
@@ -430,6 +569,9 @@ func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
 		if m.RT.ServerOf(a.Actor) != a.Src {
 			continue // stale: the actor moved since planning
 		}
+		if m.lemFor(a.Src).failed {
+			continue // the initiating LEM crashed after planning
+		}
 		repin := false
 		if m.RT.Pinned(a.Actor) {
 			if a.Pri <= pinPri {
@@ -439,26 +581,10 @@ func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
 			// pinned actor; the pin is restored at its new home.
 			repin = true
 		}
-		if m.checkIdleRes(a, snap) {
-			if a.Kind == epl.KindReserve {
-				m.reserved[a.Trg] = a.Actor
-			}
-			if repin {
-				m.RT.Unpin(a.Actor)
-			}
-			m.RT.Migrate(a.Actor, a.Trg, func(ok bool) {
-				if repin {
-					m.RT.Pin(a.Actor)
-				}
-				if ok {
-					m.Stats.ExecutedMigrations++
-				} else if a.Kind == epl.KindReserve && m.reserved[a.Trg] == a.Actor {
-					delete(m.reserved, a.Trg)
-				}
-			})
-		} else {
-			m.Stats.DeniedAdmissions++
-		}
+		// Queries are sent here in priority order and arrive in that same
+		// order one hop later, so reservations register before their
+		// colocation partners are admission-checked.
+		m.queryAdmission(a, snap, repin)
 	}
 }
 

@@ -1,0 +1,426 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/halo"
+	"plasma/internal/apps/mediaservice"
+	"plasma/internal/apps/pagerank"
+	"plasma/internal/chaos"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/graph"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// Chaos is the deterministic fault-injection harness: PageRank, the Media
+// Service, and Halo each run under randomized-but-seeded fault schedules —
+// control-plane message drops/delays/duplicates plus machine, GEM, and LEM
+// crash/recovery pairs — and a global invariant sweep is asserted at the
+// end of every run: no actor lost, duplicated, or stuck mid-migration; no
+// machine's memory accounting drifted; and the application is serving again
+// within two elasticity periods of the last fault. The same seed replays
+// the same faults bit for bit (see the injector trace), which is what turns
+// §4.3's graceful-degradation claims into checkable assertions.
+func Chaos(cfg Config) *Result {
+	r := newResult("chaos", "Invariants under seeded control-plane and crash fault schedules")
+	r.Header = []string{"App", "Seed", "Dropped", "Dup", "Delayed", "Crashes", "CtlFails", "Migrations", "Failed", "Denied", "Invariants"}
+
+	seeds := []int64{cfg.seed(), cfg.seed() + 1, cfg.seed() + 2}
+	apps := []struct {
+		name string
+		run  func(Config, int64) chaosRun
+	}{
+		{"pagerank", chaosPagerank},
+		{"mediaservice", chaosMediaService},
+		{"halo", chaosHalo},
+	}
+
+	runs, violations := 0, 0
+	var faults, crashes, migrations int
+	for _, app := range apps {
+		for _, seed := range seeds {
+			cr := app.run(cfg, seed)
+			runs++
+			violations += len(cr.violations)
+			st := cr.injStats
+			faults += st.TotalDropped() + st.TotalDuplicated() + st.TotalDelayed()
+			crashes += cr.crashes
+			migrations += cr.emrStats.ExecutedMigrations
+			verdict := "ok"
+			if len(cr.violations) > 0 {
+				verdict = strings.Join(cr.violations, "; ")
+			}
+			r.addRow(app.name, fmt.Sprintf("%d", seed),
+				fmt.Sprintf("%d", st.TotalDropped()),
+				fmt.Sprintf("%d", st.TotalDuplicated()),
+				fmt.Sprintf("%d", st.TotalDelayed()),
+				fmt.Sprintf("%d", cr.crashes),
+				fmt.Sprintf("%d", cr.ctlFails),
+				fmt.Sprintf("%d", cr.emrStats.ExecutedMigrations),
+				fmt.Sprintf("%d", cr.emrStats.QueryTimeouts+cr.failedMigs),
+				fmt.Sprintf("%d", cr.emrStats.DeniedAdmissions),
+				verdict)
+		}
+	}
+	r.Summary["runs"] = float64(runs)
+	r.Summary["invariant_violations"] = float64(violations)
+	r.Summary["msg_faults"] = float64(faults)
+	r.Summary["crashes"] = float64(crashes)
+	r.Summary["migrations"] = float64(migrations)
+	r.notef("every run asserts: no actor lost/duplicated/stuck, memory accounting exact, serving resumes within 2 periods of the last fault")
+	return r
+}
+
+// chaosRun is one application's outcome under one seeded fault schedule.
+type chaosRun struct {
+	trace      []string // injector fault trace (bit-identical across replays)
+	dir        string   // final actor directory, "id@srv ..." in id order
+	injStats   chaos.Stats
+	emrStats   emr.Stats
+	failedMigs int
+	crashes    int // machine crash events applied
+	ctlFails   int // GEM+LEM crash events applied
+	violations []string
+}
+
+// chaosEnv bridges a fault schedule to the cluster, runtime, and EMR. It
+// refuses crashes that would drop the fleet below floor or touch protected
+// (client-site) machines; a machine crash is immediately followed by the
+// underlying runtime's fault tolerance re-homing the dead machine's actors
+// (§2.2), exactly as the EMR machine-failure tests do.
+type chaosEnv struct {
+	c         *cluster.Cluster
+	rt        *actor.Runtime
+	m         *emr.Manager
+	floor     int
+	protected map[cluster.MachineID]bool
+
+	crashes  int
+	ctlFails int
+}
+
+func (e *chaosEnv) CrashMachine(id int) bool {
+	mid := cluster.MachineID(id)
+	if e.protected[mid] || e.c.UpCount() <= e.floor {
+		return false
+	}
+	if !e.c.Fail(mid) {
+		return false
+	}
+	e.rt.RecoverMachine(mid)
+	e.crashes++
+	return true
+}
+
+func (e *chaosEnv) RepairMachine(id int) bool { return e.c.Repair(cluster.MachineID(id)) }
+
+func (e *chaosEnv) FailGEM(id int) bool {
+	if !e.m.FailGEM(id) {
+		return false
+	}
+	e.ctlFails++
+	return true
+}
+
+func (e *chaosEnv) RecoverGEM(id int) bool { return e.m.RecoverGEM(id) }
+
+func (e *chaosEnv) FailLEM(srv int) bool {
+	mid := cluster.MachineID(srv)
+	if e.protected[mid] || !e.m.FailLEM(mid) {
+		return false
+	}
+	e.ctlFails++
+	return true
+}
+
+func (e *chaosEnv) RecoverLEM(srv int) bool { return e.m.RecoverLEM(cluster.MachineID(srv)) }
+
+// chaosInvariants is the global sweep every run ends with: no migration
+// stuck in flight, every actor homed on an up machine, and each up
+// machine's memory accounting exactly the sum of its residents' state.
+func chaosInvariants(c *cluster.Cluster, rt *actor.Runtime) []string {
+	var bad []string
+	if n := rt.InFlightMigrations(); n != 0 {
+		bad = append(bad, fmt.Sprintf("%d migrations stuck in flight", n))
+	}
+	seen := 0
+	for _, mach := range c.Machines() {
+		on := rt.ActorsOn(mach.ID)
+		seen += len(on)
+		if !mach.Up() && len(on) > 0 {
+			bad = append(bad, fmt.Sprintf("%d actors homed on down machine %d", len(on), mach.ID))
+			continue
+		}
+		if mach.Up() {
+			var sum int64
+			for _, ref := range on {
+				sum += rt.MemSize(ref)
+			}
+			if sum != mach.MemUsed() {
+				bad = append(bad, fmt.Sprintf("machine %d memory drift: accounted %d, actors hold %d",
+					mach.ID, mach.MemUsed(), sum))
+			}
+		}
+	}
+	if total := len(rt.Actors()); seen != total {
+		bad = append(bad, fmt.Sprintf("directory mismatch: %d placed vs %d live (actor lost or duplicated)", seen, total))
+	}
+	return bad
+}
+
+// finalDirectory renders the actor directory for bit-identity comparison.
+func finalDirectory(rt *actor.Runtime) string {
+	var sb strings.Builder
+	for _, ref := range rt.Actors() {
+		fmt.Fprintf(&sb, "%d@%d ", ref.ID, rt.ServerOf(ref))
+	}
+	return sb.String()
+}
+
+// lastEventTime is when the schedule's final event (fault or recovery) fires.
+func lastEventTime(events []chaos.Event) sim.Time {
+	var last sim.Time
+	for _, ev := range events {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	return last
+}
+
+// chaosMsgFaults is the message-fault mix every app runs under: light loss,
+// duplication, and delay on all four control-plane message kinds.
+var chaosMsgFaults = chaos.Faults{DropProb: 0.10, DupProb: 0.05, DelayProb: 0.10, MaxDelay: 5 * sim.Millisecond}
+
+// chaosPagerank runs the PageRank computation under control-plane chaos
+// (message faults plus GEM/LEM crash pairs; no machine crashes — a
+// synchronous barrier workload cannot survive the simulator's loss of
+// in-process messages, and machine-crash recovery is covered by the other
+// two apps). The liveness invariant is completion: elasticity-plane chaos
+// must never stall the application.
+func chaosPagerank(cfg Config, seed int64) chaosRun {
+	iterations := 40
+	if cfg.Full {
+		iterations = 80
+	}
+	period := 500 * sim.Millisecond
+	k := sim.New(seed)
+	c := cluster.New(k, 4, cluster.M5Large)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	g := graph.GeneratePowerLaw(3000, 8, 2.1, seed)
+	parts := graph.PartitionMultilevel(g, 8, seed)
+	placement := make([]cluster.MachineID, 8)
+	for i := range placement {
+		placement[i] = cluster.MachineID(i % 4)
+	}
+	app := pagerank.Build(k, rt, pagerank.Config{
+		Graph: g, Parts: parts, K: 8,
+		PerEdgeCost: 55 * sim.Microsecond, SyncOverhead: 8 * sim.Millisecond,
+		Iterations: iterations, HeteroSpread: 0.5,
+	}, placement)
+
+	m := emr.New(k, c, rt, prof, epl.MustParse(pagerank.PolicySrc),
+		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	inj := chaos.NewInjector(seed*31+7, k.Now)
+	inj.SetAllFaults(chaosMsgFaults)
+	m.SetChaos(inj)
+
+	env := &chaosEnv{c: c, rt: rt, m: m, floor: 4}
+	events := inj.Generate(chaos.ScheduleOpts{
+		Horizon: sim.Time(20 * sim.Second),
+		GEMs:    2, LEMs: []int{0, 1, 2, 3},
+		GEMFails: 1, LEMFails: 2,
+		MeanOutage: 4 * sim.Second,
+	})
+	inj.Apply(k, env, events)
+	m.Start()
+	app.Start(k)
+
+	deadline := sim.Time(120 * sim.Second)
+	for !app.Done && k.Now() < deadline && k.Step() {
+	}
+	m.Stop()
+	k.Run(k.Now() + sim.Time(2*period))
+
+	cr := chaosRun{
+		trace: inj.Trace(), dir: finalDirectory(rt),
+		injStats: inj.Stats, emrStats: m.Stats,
+		failedMigs: rt.FailedMigrations(),
+		crashes:    env.crashes, ctlFails: env.ctlFails,
+		violations: chaosInvariants(c, rt),
+	}
+	if !app.Done {
+		cr.violations = append(cr.violations, "pagerank stalled under control-plane chaos")
+	}
+	return cr
+}
+
+// chaosMediaService runs the Media Service under the full fault mix:
+// message faults plus machine, GEM, and LEM crash/recovery pairs. Clients
+// drive open-loop request streams from a protected client-site machine, and
+// the liveness invariant is that requests complete after the last fault.
+func chaosMediaService(cfg Config, seed int64) chaosRun {
+	total := 90 * sim.Second
+	if cfg.Full {
+		total = 180 * sim.Second
+	}
+	period := 5 * sim.Second
+	clientSite := cluster.MachineID(4)
+
+	k := sim.New(seed)
+	c := cluster.New(k, 5, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	app := mediaservice.Build(k, rt, []cluster.MachineID{0, 1, 2, 3}, 4)
+	k.RunUntilIdle()
+
+	m := emr.New(k, c, rt, prof, epl.MustParse(mediaservice.PolicySrc),
+		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	inj := chaos.NewInjector(seed*31+7, k.Now)
+	inj.SetAllFaults(chaosMsgFaults)
+	m.SetChaos(inj)
+
+	env := &chaosEnv{c: c, rt: rt, m: m, floor: 3,
+		protected: map[cluster.MachineID]bool{clientSite: true}}
+	events := inj.Generate(chaos.ScheduleOpts{
+		Horizon:  sim.Time(total) * 6 / 10,
+		Machines: []int{1, 2, 3},
+		GEMs:     2, LEMs: []int{0, 1, 2, 3},
+		Crashes:  2, GEMFails: 1, LEMFails: 1,
+		MeanOutage: 8 * sim.Second,
+	})
+	inj.Apply(k, env, events)
+	m.Start()
+
+	recoveredAt := lastEventTime(events) + sim.Time(2*period)
+	served := 0
+	for i := 0; i < 8; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Time(250*sim.Millisecond), func() {
+			_, fe := app.AddClient()
+			cl := actor.NewClient(rt, clientSite)
+			watch := true
+			k.Every(250*sim.Millisecond, func() bool {
+				if k.Now() >= sim.Time(total) {
+					return false
+				}
+				watch = !watch
+				method, size := "watch", int64(512)
+				if !watch {
+					method, size = "review", 2<<10
+				}
+				cl.Request(fe, method, nil, size, func(sim.Duration, interface{}) {
+					if k.Now() >= recoveredAt {
+						served++
+					}
+				})
+				return true
+			})
+		})
+	}
+	k.Run(sim.Time(total))
+	m.Stop()
+	k.Run(sim.Time(total) + sim.Time(2*period))
+
+	cr := chaosRun{
+		trace: inj.Trace(), dir: finalDirectory(rt),
+		injStats: inj.Stats, emrStats: m.Stats,
+		failedMigs: rt.FailedMigrations(),
+		crashes:    env.crashes, ctlFails: env.ctlFails,
+		violations: chaosInvariants(c, rt),
+	}
+	if served == 0 {
+		cr.violations = append(cr.violations, "no requests served after recovery window")
+	}
+	return cr
+}
+
+// chaosHalo runs the Halo presence service (routers, sessions, players)
+// under the full fault mix, with heartbeats as the liveness probe.
+func chaosHalo(cfg Config, seed int64) chaosRun {
+	total := 120 * sim.Second
+	if cfg.Full {
+		total = 240 * sim.Second
+	}
+	period := 10 * sim.Second
+	servers := 8
+
+	k := sim.New(seed)
+	c := cluster.New(k, servers+2, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	prof := profile.New(k, c, rt)
+	routerSrvs := []cluster.MachineID{0, 1}
+	sessionSrvs := make([]cluster.MachineID, servers)
+	for i := range sessionSrvs {
+		sessionSrvs[i] = cluster.MachineID(i)
+	}
+	app := halo.Build(k, rt, routerSrvs, sessionSrvs, 4, 8)
+
+	m := emr.New(k, c, rt, prof, epl.MustParse(halo.FullPolicySrc),
+		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	inj := chaos.NewInjector(seed*31+7, k.Now)
+	inj.SetAllFaults(chaosMsgFaults)
+	m.SetChaos(inj)
+
+	protected := map[cluster.MachineID]bool{
+		cluster.MachineID(servers): true, cluster.MachineID(servers + 1): true,
+	}
+	machines := make([]int, servers)
+	lems := make([]int, servers)
+	for i := 0; i < servers; i++ {
+		machines[i], lems[i] = i, i
+	}
+	env := &chaosEnv{c: c, rt: rt, m: m, floor: servers / 2, protected: protected}
+	events := inj.Generate(chaos.ScheduleOpts{
+		Horizon:  sim.Time(total) * 6 / 10,
+		Machines: machines,
+		GEMs:     2, LEMs: lems,
+		Crashes:  2, GEMFails: 1, LEMFails: 2,
+		MeanOutage: 10 * sim.Second,
+	})
+	inj.Apply(k, env, events)
+	m.Start()
+
+	recoveredAt := lastEventTime(events) + sim.Time(2*period)
+	served := 0
+	for i := 0; i < 12; i++ {
+		i := i
+		joinAt := sim.Time(i) * sim.Time(2*sim.Second)
+		k.At(joinAt, func() {
+			p := app.Join(i % 8)
+			cl := actor.NewClient(rt, cluster.MachineID(servers+i%2))
+			k.Every(200*sim.Millisecond, func() bool {
+				if k.Now() >= sim.Time(total) {
+					return false
+				}
+				app.Heartbeat(cl, p, func(sim.Duration) {
+					if k.Now() >= recoveredAt {
+						served++
+					}
+				})
+				return true
+			})
+		})
+	}
+	k.Run(sim.Time(total))
+	m.Stop()
+	k.Run(sim.Time(total) + sim.Time(2*period))
+
+	cr := chaosRun{
+		trace: inj.Trace(), dir: finalDirectory(rt),
+		injStats: inj.Stats, emrStats: m.Stats,
+		failedMigs: rt.FailedMigrations(),
+		crashes:    env.crashes, ctlFails: env.ctlFails,
+		violations: chaosInvariants(c, rt),
+	}
+	if served == 0 {
+		cr.violations = append(cr.violations, "no heartbeats served after recovery window")
+	}
+	return cr
+}

@@ -121,6 +121,7 @@ var Registry = map[string]func(Config) *Result{
 	"fig11a": Fig11a,
 	"fig11b": Fig11b,
 	"fig11c": Fig11c,
+	"chaos":  Chaos,
 }
 
 // IDs returns the registered experiment ids in order.

@@ -177,7 +177,7 @@ func TestRenderIncludesHeaderAndSummary(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("registered experiments = %d, want 13 (every table and figure)", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("registered experiments = %d, want 14 (every table and figure, plus chaos)", len(ids))
 	}
 }
