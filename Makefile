@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench lint verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# verify is the pre-merge gate: everything compiles, vet is clean, and the
-# full suite passes under the race detector.
-verify: build vet race
+# lint runs the determinism linter over all simulator and CLI code; any
+# wall-clock read, global math/rand use, or unsorted map-order output fails
+# (warnings included, via -Werror).
+lint:
+	$(GO) run ./cmd/plasma-lint -Werror ./internal/... ./cmd/...
+
+# verify is the pre-merge gate: everything compiles, vet is clean, the full
+# suite passes under the race detector, and the determinism lint is clean.
+verify: build vet race lint

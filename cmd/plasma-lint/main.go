@@ -1,0 +1,169 @@
+// Command plasma-lint runs PLASMA's static-analysis engine: the EPL policy
+// passes (satisfiability, flapping, shadowing, unused declarations — plus
+// the compiler's conflict detection) over .epl files, and the determinism
+// linter (wall-clock time, global math/rand, unsorted map-order output)
+// over Go sources.
+//
+// Usage:
+//
+//	plasma-lint [-schema app.json] [-json] [-Werror] [target...]
+//
+// Targets ending in .epl are linted as policies; directories, dir/...
+// patterns, and .go files are linted for determinism. With no targets it
+// lints ./internal/... and ./cmd/... — the repository invariant `make
+// verify` enforces.
+//
+// Exit status: 0 clean, 1 findings at error severity (or warning severity
+// with -Werror), 2 usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"plasma/internal/epl"
+	"plasma/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("plasma-lint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	jsonOut := fl.Bool("json", false, "emit findings as JSON")
+	werror := fl.Bool("Werror", false, "exit nonzero on warnings, not only errors")
+	schemaPath := fl.String("schema", "", "application schema JSON for policy checking")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	targets := fl.Args()
+	if len(targets) == 0 {
+		targets = []string{"./internal/...", "./cmd/..."}
+	}
+	var epls, gos []string
+	for _, t := range targets {
+		if strings.HasSuffix(t, ".epl") {
+			epls = append(epls, t)
+		} else {
+			gos = append(gos, t)
+		}
+	}
+
+	schema, err := loadSchema(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	for _, path := range epls {
+		diags = append(diags, lintPolicyFile(path, schema)...)
+	}
+	if len(gos) > 0 {
+		files, err := lint.ExpandGoPatterns(gos)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		goDiags, err := lint.LintGoFiles(files)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = append(diags, goDiags...)
+	}
+	lint.SortDiagnostics(diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		}{Diagnostics: diags}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	bar := lint.Error
+	if *werror {
+		bar = lint.Warning
+	}
+	if lint.MaxSeverity(diags) >= bar {
+		return 1
+	}
+	return 0
+}
+
+// lintPolicyFile parses, checks, and analyzes one .epl file; failures
+// surface as diagnostics rather than aborting the run, so a corpus lints
+// in one pass.
+func lintPolicyFile(path string, schema *epl.Schema) []lint.Diagnostic {
+	fail := func(msg string) []lint.Diagnostic {
+		return []lint.Diagnostic{{
+			Code: lint.CodeParse, Severity: lint.Error, File: path,
+			Line: 1, Col: 1, Message: msg,
+		}}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(err.Error())
+	}
+	pol, err := epl.Parse(string(data))
+	if err != nil {
+		return fail(err.Error())
+	}
+	diags, err := lint.CheckAndAnalyze(pol, schema)
+	if err != nil {
+		return fail(err.Error())
+	}
+	for i := range diags {
+		diags[i].File = path
+	}
+	return diags
+}
+
+// loadSchema reads the plasmac-format schema file ({"actors": [...]}), or
+// returns nil for the empty path.
+func loadSchema(path string) (*epl.Schema, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf struct {
+		Actors []struct {
+			Name      string   `json:"name"`
+			Parent    string   `json:"parent"`
+			Functions []string `json:"functions"`
+			Props     []string `json:"props"`
+		} `json:"actors"`
+	}
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("plasma-lint: bad schema %s: %v", path, err)
+	}
+	var classes []*epl.ActorSchema
+	for _, a := range sf.Actors {
+		classes = append(classes, &epl.ActorSchema{
+			Name: a.Name, Parent: a.Parent, Functions: a.Functions, Props: a.Props,
+		})
+	}
+	return epl.NewSchema(classes...), nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const corpusDir = "../../internal/lint/testdata"
+
+var goldenDir = filepath.Join(corpusDir, "golden", "plasma-lint")
+
+// runGolden executes the CLI in-process and returns the normalized
+// transcript: stdout, then an exit-status trailer. Corpus paths are
+// rewritten relative to testdata/ so goldens do not depend on the
+// package's location.
+func runGolden(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	if stderr.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", stderr.String())
+	}
+	out := strings.ReplaceAll(stdout.String(), corpusDir+"/", "testdata/")
+	return out + fmt.Sprintf("exit: %d\n", code)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCorpus locks the CLI's text output and exit status for every
+// corpus policy.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.epl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".epl")
+		t.Run(name, func(t *testing.T) {
+			checkGolden(t, name, runGolden(t, f))
+		})
+	}
+}
+
+// TestGoldenJSON locks the machine-readable output shape.
+func TestGoldenJSON(t *testing.T) {
+	got := runGolden(t, "-json", filepath.Join(corpusDir, "shadow_true.epl"))
+	checkGolden(t, "shadow_true.json", got)
+	clean := runGolden(t, "-json", filepath.Join(corpusDir, "clean_pagerank.epl"))
+	checkGolden(t, "clean_pagerank.json", clean)
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(corpusDir, "flap_zero_band.epl")
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("warnings alone should exit 0, got %d", code)
+	}
+	stdout.Reset()
+	if code := run([]string{"-Werror", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-Werror with warnings should exit 1")
+	}
+}
+
+func TestInfoNeverFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(corpusDir, "dead_var.epl")
+	if code := run([]string{"-Werror", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("info-severity findings should not fail -Werror, got %d\n%s", code, stdout.String())
+	}
+}
+
+func TestLintGoTarget(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "time"
+
+func now() int64 { return time.Now().Unix() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("DET001 should exit 1, got %d (stderr %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "DET001") {
+		t.Fatalf("output missing DET001: %s", stdout.String())
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const corpusDir = "../../internal/lint/testdata"
+
+var goldenDir = filepath.Join(corpusDir, "golden", "plasmac")
+
+func runPlasmac(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCompile locks the compiled JSON (with embedded diagnostics)
+// for a representative slice of the corpus.
+func TestGoldenCompile(t *testing.T) {
+	for _, name := range []string{
+		"clean_pagerank", "clean_halo", "shadow_true", "flap_zero_band", "dead_var", "unsat_interval",
+	} {
+		t.Run(name, func(t *testing.T) {
+			stdout, _, code := runPlasmac(t,
+				"-lint", "-json", filepath.Join(corpusDir, name+".epl"))
+			checkGolden(t, name, stdout+fmt.Sprintf("exit: %d\n", code))
+		})
+	}
+}
+
+// TestDiagnosticsEmbeddedPerRule asserts -json carries each diagnostic
+// with its rule indices, not just a count.
+func TestDiagnosticsEmbeddedPerRule(t *testing.T) {
+	stdout, stderr, _ := runPlasmac(t,
+		"-lint", "-json", filepath.Join(corpusDir, "shadow_true.epl"))
+	if stderr != "" {
+		t.Fatalf("-json should keep stderr quiet, got %q", stderr)
+	}
+	var out struct {
+		Warnings    int `json:"warnings"`
+		Diagnostics []struct {
+			Code  string `json:"code"`
+			Rules []int  `json:"rules"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if out.Warnings != 1 {
+		t.Fatalf("warnings = %d, want 1", out.Warnings)
+	}
+	found := false
+	for _, d := range out.Diagnostics {
+		if d.Code == "EPL020" {
+			found = true
+			if len(d.Rules) != 2 || d.Rules[0] != 0 || d.Rules[1] != 1 {
+				t.Fatalf("EPL020 rules = %v, want [0 1]", d.Rules)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("EPL020 missing from diagnostics: %s", stdout)
+	}
+}
+
+func TestWerror(t *testing.T) {
+	path := filepath.Join(corpusDir, "flap_zero_band.epl")
+	if _, _, code := runPlasmac(t, "-lint", path); code != 0 {
+		t.Fatalf("warnings without -Werror should exit 0, got %d", code)
+	}
+	if _, _, code := runPlasmac(t, "-lint", "-Werror", path); code != 1 {
+		t.Fatal("-Werror with warnings should exit 1")
+	}
+	// Conflict warnings from the checker alone (no -lint) also count.
+	if _, _, code := runPlasmac(t, "-Werror", filepath.Join(corpusDir, "shadow_true.epl")); code != 1 {
+		t.Fatal("-Werror with conflict warnings should exit 1")
+	}
+}
+
+func TestErrorSeverityFailsWithoutWerror(t *testing.T) {
+	if _, _, code := runPlasmac(t, "-lint", filepath.Join(corpusDir, "unsat_interval.epl")); code != 1 {
+		t.Fatal("error-severity diagnostics should exit 1 without -Werror")
+	}
+}
+
+func TestTextModeWritesDiagnosticsToStderr(t *testing.T) {
+	stdout, stderr, _ := runPlasmac(t, "-lint", filepath.Join(corpusDir, "dead_var.epl"))
+	if !strings.Contains(stderr, "EPL030") {
+		t.Fatalf("stderr missing EPL030: %q", stderr)
+	}
+	if strings.Contains(stdout, "EPL030") {
+		t.Fatal("text mode must not embed diagnostics in stdout JSON")
+	}
+}
+
+func TestInlinePolicy(t *testing.T) {
+	stdout, _, code := runPlasmac(t, "-e", "server.cpu.perc > 80 => balance({W}, cpu);")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, `"class": "resource"`) {
+		t.Fatalf("compiled output missing rule class: %s", stdout)
+	}
+}

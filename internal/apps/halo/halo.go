@@ -11,6 +11,8 @@
 package halo
 
 import (
+	"sort"
+
 	"plasma/internal/actor"
 	"plasma/internal/cluster"
 	"plasma/internal/epl"
@@ -143,13 +145,7 @@ func (app *App) Join(sessionIdx int) actor.Ref {
 		}
 	}
 	// Deterministic order for the property.
-	for i := 0; i < len(members); i++ {
-		for j := i + 1; j < len(members); j++ {
-			if members[j].ID < members[i].ID {
-				members[i], members[j] = members[j], members[i]
-			}
-		}
-	}
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
 	cl := actor.NewClient(app.RT, app.RT.ServerOf(session))
 	cl.Send(session, "sync", members, 64)
 	return player

@@ -11,6 +11,8 @@ package chaos
 
 import (
 	"fmt"
+
+	//lint:ignore DET002 the injector is the seeded source of every fault decision
 	"math/rand"
 
 	"plasma/internal/sim"

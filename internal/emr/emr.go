@@ -27,6 +27,7 @@ import (
 	"plasma/internal/chaos"
 	"plasma/internal/cluster"
 	"plasma/internal/epl"
+	"plasma/internal/lint"
 	"plasma/internal/profile"
 	"plasma/internal/sim"
 )
@@ -191,6 +192,11 @@ type Manager struct {
 	// period before admission checks.
 	OnActions func(final []Action)
 
+	// PolicyDiagnostics holds the static-analysis findings for Pol,
+	// computed once at construction. New panics if any finding has error
+	// severity (an unsatisfiable policy would silently never fire).
+	PolicyDiagnostics []lint.Diagnostic
+
 	Stats   Stats
 	running bool
 	booting int // provisioned machines not yet up (scale-out cooldown)
@@ -243,6 +249,14 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		lems:     make(map[cluster.MachineID]*lem),
 		reserved: make(map[cluster.MachineID]actor.Ref),
 		draining: make(map[cluster.MachineID]bool),
+	}
+	if pol != nil {
+		m.PolicyDiagnostics = lint.AnalyzePolicy(pol, nil)
+		for _, d := range m.PolicyDiagnostics {
+			if d.Severity >= lint.Error {
+				panic("emr: policy rejected by static analysis: " + d.String())
+			}
+		}
 	}
 	for i := 0; i < m.Cfg.NumGEMs; i++ {
 		m.gems = append(m.gems, &gem{

@@ -1,0 +1,63 @@
+package emr
+
+import (
+	"strings"
+	"testing"
+
+	"plasma/internal/epl"
+	"plasma/internal/lint"
+	"plasma/internal/sim"
+)
+
+// TestNewRejectsUnsatisfiablePolicy asserts the EMR fails fast at
+// policy-load time: a rule that can never fire is a configuration bug, not
+// something to discover after a day of simulated elasticity.
+func TestNewRejectsUnsatisfiablePolicy(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`server.cpu.perc > 80 and server.cpu.perc < 20 => balance({Worker}, cpu);`)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted an unsatisfiable policy")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "EPL001") {
+			t.Fatalf("panic = %v, want message naming EPL001", r)
+		}
+	}()
+	New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+}
+
+// TestNewRecordsWarningDiagnostics asserts warning-severity findings are
+// kept on the manager for experiments to inspect, without rejecting the
+// policy.
+func TestNewRecordsWarningDiagnostics(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	pol := epl.MustParse(`
+server.cpu.perc > 70 => balance({Worker}, cpu);
+server.cpu.perc < 70 => balance({Worker}, cpu);
+`)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second})
+	found := false
+	for _, d := range m.PolicyDiagnostics {
+		if d.Code == lint.CodeFlapping {
+			found = true
+		}
+		if d.Severity >= lint.Error {
+			t.Fatalf("unexpected error-severity diagnostic: %s", d)
+		}
+	}
+	if !found {
+		t.Fatalf("flapping policy not diagnosed; got %v", m.PolicyDiagnostics)
+	}
+}
+
+// TestNewAcceptsNilPolicy keeps the no-policy construction path (used by
+// baseline experiments) working.
+func TestNewAcceptsNilPolicy(t *testing.T) {
+	e := newEnv(1, 2, 1)
+	m := New(e.k, e.c, e.rt, e.prof, nil, Config{Period: sim.Second})
+	if m == nil || m.PolicyDiagnostics != nil {
+		t.Fatalf("nil policy should produce no diagnostics, got %v", m.PolicyDiagnostics)
+	}
+}

@@ -3,6 +3,7 @@ package epl
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Schema describes the application program's actor classes (Fig. 3.I) for
@@ -83,15 +84,33 @@ func (a *ActorSchema) hasProp(name string) bool {
 	return false
 }
 
+// Conflict warning codes (EPL1xx), stable for tests and tooling. The
+// analyzer passes in internal/lint use the EPL0xx range.
+const (
+	CodeColocateSeparate = "EPL101" // same pair both colocated and separated
+	CodePinBalance       = "EPL102" // pinned type subject to balance
+	CodePinReserve       = "EPL103" // pinned type subject to reserve
+	CodeReserveBalance   = "EPL104" // reserved type subject to balance
+	CodeBalanceColocate  = "EPL105" // balanced type colocated with another
+)
+
 // Warning is a non-fatal diagnostic, primarily from conflict detection
 // (§4.3: "PLASMA's compiler detects conflicting rules for the same actor
-// type, and issues warnings").
+// type, and issues warnings"). Code is a stable diagnostic code; Rules
+// lists every rule index involved in the conflict.
 type Warning struct {
-	Pos Pos
-	Msg string
+	Code  string
+	Pos   Pos
+	Msg   string
+	Rules []int
 }
 
-func (w Warning) String() string { return fmt.Sprintf("epl:%s: warning: %s", w.Pos, w.Msg) }
+func (w Warning) String() string {
+	if w.Code == "" {
+		return fmt.Sprintf("epl:%s: warning: %s", w.Pos, w.Msg)
+	}
+	return fmt.Sprintf("epl:%s: warning[%s]: %s", w.Pos, w.Code, w.Msg)
+}
 
 // Check validates a policy against a schema (nil schema skips name checks)
 // and returns conflict warnings. It returns the first semantic error found.
@@ -271,63 +290,129 @@ func makePair(a, b string) typePair {
 	return typePair{a, b}
 }
 
+// occ is one behavior occurrence: the rule it appears in and its position.
+type occ struct {
+	rule int
+	pos  Pos
+}
+
 // detectConflicts flags rule combinations that can demand contradictory
 // placements for the same actor type. These are warnings: the runtime
-// resolves surviving conflicts by priority (§4.3).
+// resolves surviving conflicts by priority (§4.3). Every occurrence of a
+// conflicting behavior is reported (not just the last one recorded), each
+// warning carrying the full set of involved rule indices; type names are
+// expanded through the schema hierarchy compiled by Check, so a rule
+// naming a parent type conflict-checks against rules naming its subtypes.
 func detectConflicts(pol *Policy) []Warning {
 	var warns []Warning
-	colocated := map[typePair]Pos{}
-	separated := map[typePair]Pos{}
-	pinned := map[string]Pos{}
-	balanced := map[string]Pos{}
-	reserved := map[string]Pos{}
+	colocated := map[typePair][]occ{}
+	separated := map[typePair][]occ{}
+	pinned := map[string][]occ{}
+	balanced := map[string][]occ{}
+	reserved := map[string][]occ{}
+
+	addPair := func(m map[typePair][]occ, a, b string, o occ) {
+		for _, xa := range pol.Expand(a) {
+			for _, xb := range pol.Expand(b) {
+				m[makePair(xa, xb)] = append(m[makePair(xa, xb)], o)
+			}
+		}
+	}
+	addType := func(m map[string][]occ, t string, o occ) {
+		for _, x := range pol.Expand(t) {
+			m[x] = append(m[x], o)
+		}
+	}
 
 	for _, r := range pol.Rules {
 		for _, b := range r.Behaviors {
 			switch beh := b.(type) {
 			case *ColocateBeh:
-				colocated[makePair(beh.A.Type(), beh.B.Type())] = beh.Pos
+				addPair(colocated, beh.A.Type(), beh.B.Type(), occ{r.Index, beh.Pos})
 			case *SeparateBeh:
-				separated[makePair(beh.A.Type(), beh.B.Type())] = beh.Pos
+				addPair(separated, beh.A.Type(), beh.B.Type(), occ{r.Index, beh.Pos})
 			case *PinBeh:
-				pinned[beh.Actor.Type()] = beh.Pos
+				addType(pinned, beh.Actor.Type(), occ{r.Index, beh.Pos})
 			case *BalanceBeh:
 				for _, t := range beh.Types {
-					balanced[t] = beh.Pos
+					addType(balanced, t, occ{r.Index, beh.Pos})
 				}
 			case *ReserveBeh:
-				reserved[beh.Actor.Type()] = beh.Pos
+				addType(reserved, beh.Actor.Type(), occ{r.Index, beh.Pos})
 			}
 		}
 	}
 
-	for pair, pos := range colocated {
-		if _, ok := separated[pair]; ok {
-			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
-				"types %q and %q are both colocated and separated; runtime priority decides", pair.a, pair.b)})
+	// typeOccs returns every occurrence in m matching type t, honoring the
+	// AnyType wildcard on either side.
+	typeOccs := func(m map[string][]occ, t string) []occ {
+		if t == AnyType {
+			var all []occ
+			for _, key := range sortedTypeKeys(m) {
+				all = append(all, m[key]...)
+			}
+			return all
+		}
+		out := append([]occ(nil), m[t]...)
+		out = append(out, m[AnyType]...)
+		return out
+	}
+
+	for _, pair := range sortedPairKeys(colocated) {
+		seps := separated[pair]
+		if len(seps) == 0 {
+			continue
+		}
+		rules := ruleUnion(colocated[pair], seps)
+		for _, o := range colocated[pair] {
+			warns = append(warns, Warning{Code: CodeColocateSeparate, Pos: o.pos, Rules: rules, Msg: fmt.Sprintf(
+				"types %q and %q are both colocated and separated (rules %s); runtime priority decides",
+				pair.a, pair.b, ruleList(rules))})
 		}
 	}
-	for t, pos := range pinned {
-		if _, ok := balanced[t]; ok || (t == AnyType && len(balanced) > 0) {
-			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
-				"type %q is pinned but also subject to balance; pinned actors will not be balanced", t)})
+	for _, t := range sortedTypeKeys(pinned) {
+		if boccs := typeOccs(balanced, t); len(boccs) > 0 {
+			rules := ruleUnion(pinned[t], boccs)
+			for _, o := range pinned[t] {
+				warns = append(warns, Warning{Code: CodePinBalance, Pos: o.pos, Rules: rules, Msg: fmt.Sprintf(
+					"type %q is pinned but also subject to balance (rules %s); pinned actors will not be balanced",
+					t, ruleList(rules))})
+			}
 		}
-		if _, ok := reserved[t]; ok {
-			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
-				"type %q is pinned but also subject to reserve; pinned actors will not be reserved", t)})
+		if roccs := typeOccs(reserved, t); len(roccs) > 0 {
+			rules := ruleUnion(pinned[t], roccs)
+			for _, o := range pinned[t] {
+				warns = append(warns, Warning{Code: CodePinReserve, Pos: o.pos, Rules: rules, Msg: fmt.Sprintf(
+					"type %q is pinned but also subject to reserve (rules %s); pinned actors will not be reserved",
+					t, ruleList(rules))})
+			}
 		}
 	}
-	for t, pos := range reserved {
-		if _, ok := balanced[t]; ok {
-			warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
-				"type %q is both reserved and balanced; runtime priority (balance first) decides", t)})
+	for _, t := range sortedTypeKeys(reserved) {
+		if boccs := typeOccs(balanced, t); len(boccs) > 0 {
+			rules := ruleUnion(reserved[t], boccs)
+			for _, o := range reserved[t] {
+				warns = append(warns, Warning{Code: CodeReserveBalance, Pos: o.pos, Rules: rules, Msg: fmt.Sprintf(
+					"type %q is both reserved and balanced (rules %s); runtime priority (balance first) decides",
+					t, ruleList(rules))})
+			}
 		}
 	}
-	for pair := range colocated {
-		for _, t := range []string{pair.a, pair.b} {
-			if pos, ok := balanced[t]; ok {
-				warns = append(warns, Warning{Pos: pos, Msg: fmt.Sprintf(
-					"type %q is balanced but also colocated with %q; balance may break colocation", t, other(pair, t))})
+	for _, pair := range sortedPairKeys(colocated) {
+		ts := []string{pair.a}
+		if pair.b != pair.a {
+			ts = append(ts, pair.b)
+		}
+		for _, t := range ts {
+			boccs := balanced[t]
+			if len(boccs) == 0 {
+				continue
+			}
+			rules := ruleUnion(colocated[pair], boccs)
+			for _, o := range boccs {
+				warns = append(warns, Warning{Code: CodeBalanceColocate, Pos: o.pos, Rules: rules, Msg: fmt.Sprintf(
+					"type %q is balanced but also colocated with %q (rules %s); balance may break colocation",
+					t, other(pair, t), ruleList(rules))})
 			}
 		}
 	}
@@ -335,9 +420,63 @@ func detectConflicts(pol *Policy) []Warning {
 		if warns[i].Pos.Line != warns[j].Pos.Line {
 			return warns[i].Pos.Line < warns[j].Pos.Line
 		}
+		if warns[i].Code != warns[j].Code {
+			return warns[i].Code < warns[j].Code
+		}
 		return warns[i].Msg < warns[j].Msg
 	})
 	return warns
+}
+
+// sortedPairKeys orders conflict-map pair keys deterministically.
+func sortedPairKeys(m map[typePair][]occ) []typePair {
+	keys := make([]typePair, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	return keys
+}
+
+// sortedTypeKeys orders conflict-map type keys deterministically.
+func sortedTypeKeys(m map[string][]occ) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ruleUnion is the sorted, deduplicated set of rule indices across
+// occurrence lists.
+func ruleUnion(lists ...[]occ) []int {
+	set := map[int]bool{}
+	for _, l := range lists {
+		for _, o := range l {
+			set[o.rule] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ruleList renders rule indices as "#0, #2".
+func ruleList(rules []int) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = fmt.Sprintf("#%d", r)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func other(p typePair, t string) string {

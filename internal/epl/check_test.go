@@ -176,3 +176,132 @@ func hasWarning(warns []Warning, substr string) bool {
 	}
 	return false
 }
+
+func warnsByCode(warns []Warning, code string) []Warning {
+	var out []Warning
+	for _, w := range warns {
+		if w.Code == code {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestConflictCodesAndRules(t *testing.T) {
+	pol := MustParse(`
+true => pin(Worker(w));
+server.cpu.perc > 80 => balance({Worker}, cpu);
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := warnsByCode(warns, CodePinBalance)
+	if len(pb) != 1 {
+		t.Fatalf("want one %s warning, got %v", CodePinBalance, warns)
+	}
+	w := pb[0]
+	if len(w.Rules) != 2 || w.Rules[0] != 0 || w.Rules[1] != 1 {
+		t.Fatalf("Rules = %v, want [0 1]", w.Rules)
+	}
+	if w.Pos.Line == 0 {
+		t.Fatalf("warning lost its position: %+v", w)
+	}
+}
+
+func TestConflictEveryOccurrenceReported(t *testing.T) {
+	// The same colocate/separate pair occurs in two separate rules; each
+	// occurrence gets its own positioned warning, all naming all rules.
+	pol := MustParse(`
+true => colocate(A(a), B(b));
+true => colocate(A(c), B(d));
+true => separate(A(x), B(y));
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := warnsByCode(warns, CodeColocateSeparate)
+	if len(cs) != 2 {
+		t.Fatalf("want a warning per colocate occurrence, got %v", warns)
+	}
+	if cs[0].Pos.Line == cs[1].Pos.Line {
+		t.Fatalf("occurrences share a position: %v", cs)
+	}
+	for _, w := range cs {
+		if len(w.Rules) != 3 {
+			t.Fatalf("Rules = %v, want all of [0 1 2]", w.Rules)
+		}
+	}
+}
+
+func TestConflictThroughSubtypeHierarchy(t *testing.T) {
+	// Premium is a subclass of Session: pinning the parent type conflicts
+	// with balancing the subtype, because Expand("Session") includes
+	// Premium actors.
+	schema := NewSchema(
+		Class("Session", []string{"presence"}, nil),
+		Subclass("Premium", "Session", nil, nil),
+	)
+	pol := MustParse(`
+true => pin(Session);
+server.cpu.perc > 80 => balance({Premium}, cpu);
+`)
+	warns, err := Check(pol, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnsByCode(warns, CodePinBalance)) == 0 {
+		t.Fatalf("subtype conflict not detected: %v", warns)
+	}
+	// Sibling subtypes do not conflict with each other.
+	schema2 := NewSchema(
+		Class("Session", []string{"presence"}, nil),
+		Subclass("Premium", "Session", nil, nil),
+		Subclass("Trial", "Session", nil, nil),
+	)
+	pol2 := MustParse(`
+true => pin(Premium);
+server.cpu.perc > 80 => balance({Trial}, cpu);
+`)
+	warns2, err := Check(pol2, schema2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnsByCode(warns2, CodePinBalance)) != 0 {
+		t.Fatalf("sibling subtypes should not conflict: %v", warns2)
+	}
+}
+
+func TestConflictSubtypeColocateSeparate(t *testing.T) {
+	schema := NewSchema(
+		Class("Shard", []string{"get"}, []string{"peers"}),
+		Subclass("HotShard", "Shard", nil, nil),
+	)
+	pol := MustParse(`
+true => colocate(Shard(a), Shard(b));
+true => separate(HotShard(x), HotShard(y));
+`)
+	warns, err := Check(pol, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnsByCode(warns, CodeColocateSeparate)) == 0 {
+		t.Fatalf("colocate(Shard) vs separate(HotShard) not detected: %v", warns)
+	}
+}
+
+func TestWarningStringIncludesCode(t *testing.T) {
+	pol := MustParse(`
+true => pin(Worker(w));
+server.cpu.perc > 80 => balance({Worker}, cpu);
+`)
+	warns, err := Check(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := warnsByCode(warns, CodePinBalance)
+	if len(pb) == 0 || !strings.Contains(pb[0].String(), CodePinBalance) {
+		t.Fatalf("warning string missing code: %v", warns)
+	}
+}

@@ -292,7 +292,7 @@ func chaosMediaService(cfg Config, seed int64) chaosRun {
 		Horizon:  sim.Time(total) * 6 / 10,
 		Machines: []int{1, 2, 3},
 		GEMs:     2, LEMs: []int{0, 1, 2, 3},
-		Crashes:  2, GEMFails: 1, LEMFails: 1,
+		Crashes: 2, GEMFails: 1, LEMFails: 1,
 		MeanOutage: 8 * sim.Second,
 	})
 	inj.Apply(k, env, events)
@@ -381,7 +381,7 @@ func chaosHalo(cfg Config, seed int64) chaosRun {
 		Horizon:  sim.Time(total) * 6 / 10,
 		Machines: machines,
 		GEMs:     2, LEMs: lems,
-		Crashes:  2, GEMFails: 1, LEMFails: 2,
+		Crashes: 2, GEMFails: 1, LEMFails: 2,
 		MeanOutage: 10 * sim.Second,
 	})
 	inj.Apply(k, env, events)

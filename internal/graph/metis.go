@@ -1,8 +1,10 @@
 package graph
 
 import (
-	"math/rand"
 	"sort"
+
+	//lint:ignore DET002 partitioning draws from an explicitly seeded generator
+	"math/rand"
 )
 
 // PartitionMultilevel is a METIS-style multilevel k-way partitioner:

@@ -1,0 +1,560 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The determinism linter guards the invariants the chaos layer's
+// bit-identical replay depends on: no wall-clock time, no global
+// (unseeded, process-shared) math/rand, and no map-iteration-ordered
+// output. It is stdlib-only (go/parser + go/ast); heuristics favor
+// precision, and the `//lint:ignore <code> <reason>` escape hatch
+// suppresses a finding on the annotated line or the line below it.
+
+// globalRandFuncs are the top-level math/rand functions backed by the
+// process-global source. Constructors (New, NewSource, NewZipf) build
+// explicitly seeded generators and are allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// emitFuncs are fmt output calls: printing inside a map range leaks map
+// order into observable output.
+var emitFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// ExpandGoPatterns resolves plasma-lint Go arguments — "dir/...", a
+// directory, or a single .go file — into the list of non-test Go files to
+// lint, in deterministic order. testdata and hidden directories are
+// skipped.
+func ExpandGoPatterns(patterns []string) ([]string, error) {
+	var files []string
+	seen := map[string]bool{}
+	add := func(path string) {
+		if seen[path] || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return
+		}
+		seen[path] = true
+		files = append(files, path)
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if !info.IsDir() {
+			add(pat)
+			continue
+		}
+		if !recursive {
+			ents, err := os.ReadDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range ents {
+				if !e.IsDir() {
+					add(filepath.Join(pat, e.Name()))
+				}
+			}
+			continue
+		}
+		err = filepath.WalkDir(pat, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (strings.HasPrefix(name, ".") && len(name) > 1) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// LintGoFiles runs the determinism checks over the given Go files. Files
+// sharing a directory are analyzed together so struct fields declared in
+// one file resolve in another.
+func LintGoFiles(paths []string) ([]Diagnostic, error) {
+	byDir := map[string][]string{}
+	for _, p := range paths {
+		byDir[filepath.Dir(p)] = append(byDir[filepath.Dir(p)], p)
+	}
+	dirs := make([]string, 0, len(byDir))
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var out []Diagnostic
+	for _, dir := range dirs {
+		diags, err := lintGoDir(byDir[dir])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// parsedFile is one parsed source plus its suppression table.
+type parsedFile struct {
+	path    string
+	fset    *token.FileSet
+	file    *ast.File
+	ignores map[int]map[string]bool // line -> codes suppressed there
+	imports map[string]string       // local name -> import path
+}
+
+func lintGoDir(paths []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var pfs []*parsedFile
+	// Package-wide indices for map-typed declarations.
+	structMapFields := map[string]map[string]bool{} // struct type -> field -> is-map
+	namedMaps := map[string]bool{}                  // named types that are maps
+	pkgMapVars := map[string]bool{}                 // package-level map variables
+
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pf := &parsedFile{path: path, fset: fset, file: f,
+			ignores: map[int]map[string]bool{}, imports: map[string]string{}}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				line := fset.Position(c.End()).Line
+				for _, l := range []int{line, line + 1} {
+					if pf.ignores[l] == nil {
+						pf.ignores[l] = map[string]bool{}
+					}
+					pf.ignores[l][fields[1]] = true
+				}
+			}
+		}
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			name := filepath.Base(ipath)
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			pf.imports[name] = ipath
+		}
+		pfs = append(pfs, pf)
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.TypeSpec:
+				switch t := d.Type.(type) {
+				case *ast.MapType:
+					namedMaps[d.Name.Name] = true
+				case *ast.StructType:
+					fields := map[string]bool{}
+					for _, fl := range t.Fields.List {
+						isMap := isMapTypeExpr(fl.Type, namedMaps)
+						for _, name := range fl.Names {
+							fields[name.Name] = isMap
+						}
+					}
+					structMapFields[d.Name.Name] = fields
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if vs.Type != nil && isMapTypeExpr(vs.Type, namedMaps) {
+						for _, name := range vs.Names {
+							pkgMapVars[name.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Named map types may be declared after first use; re-resolve struct
+	// fields once the named-map index is complete.
+	for _, pf := range pfs {
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				if isMapTypeExpr(fl.Type, namedMaps) {
+					for _, name := range fl.Names {
+						structMapFields[ts.Name.Name][name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for _, pf := range pfs {
+		out = append(out, pf.lintCalls()...)
+		out = append(out, pf.lintMapRanges(structMapFields, namedMaps, pkgMapVars)...)
+	}
+	return out, nil
+}
+
+func isMapTypeExpr(e ast.Expr, namedMaps map[string]bool) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.Ident:
+		return namedMaps[t.Name]
+	}
+	return false
+}
+
+// emit appends a diagnostic unless an ignore annotation covers it.
+func (pf *parsedFile) emit(out []Diagnostic, pos token.Pos, code string, sev Severity, msg, fix string) []Diagnostic {
+	p := pf.fset.Position(pos)
+	if pf.ignores[p.Line][code] {
+		return out
+	}
+	return append(out, Diagnostic{
+		Code: code, Severity: sev, File: pf.path,
+		Line: p.Line, Col: p.Column, Message: msg, Fix: fix,
+	})
+}
+
+// lintCalls flags wall-clock time (DET001) and global math/rand (DET002).
+func (pf *parsedFile) lintCalls() []Diagnostic {
+	var out []Diagnostic
+	timeName, timeImported := importLocalName(pf.imports, "time")
+	randName, randImported := importLocalName(pf.imports, "math/rand")
+
+	if randImported {
+		for _, imp := range pf.file.Imports {
+			if p, _ := strconv.Unquote(imp.Path.Value); p == "math/rand" {
+				out = pf.emit(out, imp.Pos(), CodeNondetRand, Error,
+					"import of math/rand in deterministic code; use the kernel's seeded *rand.Rand",
+					"thread a seeded generator through, or annotate the import with //lint:ignore "+CodeNondetRand+" <reason>")
+			}
+		}
+	}
+	if !timeImported && !randImported {
+		return out
+	}
+	ast.Inspect(pf.file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Obj != nil { // Obj != nil: a local shadows the package name
+			return true
+		}
+		if timeImported && base.Name == timeName && sel.Sel.Name == "Now" {
+			out = pf.emit(out, sel.Pos(), CodeNondetTime, Error,
+				"time.Now reads the wall clock; simulated time must come from the kernel",
+				"use sim.Kernel.Now()")
+		}
+		if randImported && base.Name == randName && globalRandFuncs[sel.Sel.Name] {
+			out = pf.emit(out, sel.Pos(), CodeNondetRand, Error,
+				fmt.Sprintf("rand.%s uses the process-global source; replay needs a seeded generator", sel.Sel.Name),
+				"call the method on a rand.New(rand.NewSource(seed)) instance")
+		}
+		return true
+	})
+	return out
+}
+
+func importLocalName(imports map[string]string, path string) (string, bool) {
+	for name, p := range imports {
+		if p == path {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// lintMapRanges flags DET003: a range over a map whose body appends map
+// entries to an outer slice that is never subsequently sorted, or prints
+// directly — both leak Go's randomized map iteration order into emitted
+// output, breaking bit-identical replay.
+func (pf *parsedFile) lintMapRanges(structFields map[string]map[string]bool, namedMaps, pkgMapVars map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, decl := range pf.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		scope := pf.funcScope(fn, namedMaps)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !pf.isMapExpr(rng.X, scope, structFields, namedMaps, pkgMapVars) {
+				return true
+			}
+			appended, emits := rangeBodyEffects(rng.Body)
+			for _, pos := range emits {
+				out = pf.emit(out, pos, CodeNondetRange, Warning,
+					fmt.Sprintf("output emitted while ranging over map %s: map iteration order is nondeterministic", exprString(rng.X)),
+					"collect into a slice, sort it, then emit")
+			}
+			names := make([]string, 0, len(appended))
+			for name := range appended {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if sortedAfter(fn.Body, rng, name) {
+					continue
+				}
+				out = pf.emit(out, rng.Pos(), CodeNondetRange, Warning,
+					fmt.Sprintf("range over map %s appends to %q, which is never sorted afterwards: element order is nondeterministic", exprString(rng.X), name),
+					fmt.Sprintf("sort %q after the loop (or annotate with //lint:ignore %s <reason> if order is irrelevant)", name, CodeNondetRange))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// typeRef is what the linter knows about a local identifier.
+type typeRef struct {
+	isMap bool
+	named string // named (struct) type, for selector field resolution
+}
+
+// funcScope gathers identifier types from the receiver, parameters, and
+// body declarations — a flat, order-insensitive approximation of Go
+// scoping that is accurate enough for lint purposes.
+func (pf *parsedFile) funcScope(fn *ast.FuncDecl, namedMaps map[string]bool) map[string]typeRef {
+	scope := map[string]typeRef{}
+	bindField := func(fl *ast.Field) {
+		t := fl.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		ref := typeRef{isMap: isMapTypeExpr(fl.Type, namedMaps)}
+		if id, ok := t.(*ast.Ident); ok && !ref.isMap {
+			ref.named = id.Name
+		}
+		for _, name := range fl.Names {
+			scope[name.Name] = ref
+		}
+	}
+	if fn.Recv != nil {
+		for _, fl := range fn.Recv.List {
+			bindField(fl)
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, fl := range fn.Type.Params.List {
+			bindField(fl)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				if r, ok := rhsTypeRef(st.Rhs[i], namedMaps); ok {
+					scope[id.Name] = r
+				}
+			}
+		case *ast.ValueSpec:
+			if st.Type != nil {
+				t := st.Type
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				ref := typeRef{isMap: isMapTypeExpr(st.Type, namedMaps)}
+				if id, ok := t.(*ast.Ident); ok && !ref.isMap {
+					ref.named = id.Name
+				}
+				for _, name := range st.Names {
+					scope[name.Name] = ref
+				}
+			}
+		}
+		return true
+	})
+	return scope
+}
+
+// rhsTypeRef classifies an assignment's right-hand side.
+func rhsTypeRef(e ast.Expr, namedMaps map[string]bool) (typeRef, bool) {
+	switch r := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "make" && len(r.Args) > 0 {
+			if isMapTypeExpr(r.Args[0], namedMaps) {
+				return typeRef{isMap: true}, true
+			}
+		}
+	case *ast.CompositeLit:
+		if r.Type != nil && isMapTypeExpr(r.Type, namedMaps) {
+			return typeRef{isMap: true}, true
+		}
+		if id, ok := r.Type.(*ast.Ident); ok {
+			return typeRef{named: id.Name}, true
+		}
+	case *ast.UnaryExpr:
+		if r.Op == token.AND {
+			if cl, ok := r.X.(*ast.CompositeLit); ok {
+				if id, ok := cl.Type.(*ast.Ident); ok {
+					return typeRef{named: id.Name}, true
+				}
+			}
+		}
+	}
+	return typeRef{}, false
+}
+
+// isMapExpr decides whether a ranged expression is (conservatively,
+// provably) a map.
+func (pf *parsedFile) isMapExpr(e ast.Expr, scope map[string]typeRef, structFields map[string]map[string]bool, namedMaps, pkgMapVars map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if r, ok := scope[x.Name]; ok {
+			return r.isMap
+		}
+		return pkgMapVars[x.Name]
+	case *ast.SelectorExpr:
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		r, ok := scope[base.Name]
+		if !ok || r.named == "" {
+			return false
+		}
+		return structFields[r.named][x.Sel.Name]
+	}
+	return false
+}
+
+// rangeBodyEffects finds appends to outer identifiers and direct fmt
+// output inside a range body. Identifiers introduced inside the body are
+// excluded.
+func rangeBodyEffects(body *ast.BlockStmt) (appended map[string]bool, emits []token.Pos) {
+	local := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.AssignStmt); ok && st.Tok == token.DEFINE {
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	appended = map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 {
+				if id, ok := call.Args[0].(*ast.Ident); ok && !local[id.Name] {
+					appended[id.Name] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if base, ok := fun.X.(*ast.Ident); ok && base.Name == "fmt" && emitFuncs[fun.Sel.Name] {
+				emits = append(emits, call.Pos())
+			}
+		}
+		return true
+	})
+	return appended, emits
+}
+
+// sortedAfter reports whether a sort call mentioning name appears in the
+// function after the range statement.
+func sortedAfter(fnBody *ast.BlockStmt, rng *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != "sort" {
+			return true
+		}
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	}
+	return "expression"
+}

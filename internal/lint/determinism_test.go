@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintSrc writes src to a temp package dir and runs the determinism linter
+// over it.
+func lintSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LintGoFiles([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func codesOf(diags []Diagnostic) map[string]int {
+	m := map[string]int{}
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestDetTimeNow(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	if codesOf(diags)[CodeNondetTime] != 1 {
+		t.Fatalf("want one DET001, got %v", diags)
+	}
+	if diags[0].Severity != Error {
+		t.Fatalf("DET001 severity = %v, want error", diags[0].Severity)
+	}
+}
+
+func TestDetTimeOtherUsesAllowed(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import "time"
+
+const tick = 5 * time.Second
+
+func wait(d time.Duration) time.Duration { return d + tick }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("time.Duration use flagged: %v", diags)
+	}
+}
+
+func TestDetGlobalRand(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import "math/rand"
+
+func pick(n int) int { return rand.Intn(n) }
+`)
+	// Both the import and the global-source call are flagged.
+	if codesOf(diags)[CodeNondetRand] != 2 {
+		t.Fatalf("want two DET002, got %v", diags)
+	}
+}
+
+func TestDetSeededRandAnnotated(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import (
+	//lint:ignore DET002 seeded generator only
+	"math/rand"
+)
+
+func pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("annotated seeded rand flagged: %v", diags)
+	}
+}
+
+func TestDetIgnoreRequiresMatchingCode(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import (
+	//lint:ignore DET001 wrong code on purpose
+	"math/rand"
+)
+
+func seed() { rand.Seed(1) }
+`)
+	// The annotation names DET001, so both DET002 findings survive.
+	if codesOf(diags)[CodeNondetRand] != 2 {
+		t.Fatalf("mismatched ignore suppressed findings: %v", diags)
+	}
+}
+
+func TestDetMapRangeUnsorted(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if codesOf(diags)[CodeNondetRange] != 1 {
+		t.Fatalf("want one DET003, got %v", diags)
+	}
+	if diags[0].Severity != Warning {
+		t.Fatalf("DET003 severity = %v, want warning", diags[0].Severity)
+	}
+}
+
+func TestDetMapRangeSorted(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("sorted map collection flagged: %v", diags)
+	}
+}
+
+func TestDetMapRangePrint(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	if codesOf(diags)[CodeNondetRange] != 1 {
+		t.Fatalf("want one DET003 for print-in-range, got %v", diags)
+	}
+}
+
+func TestDetStructFieldMap(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+type reg struct {
+	members map[int]string
+}
+
+func (r *reg) names() []string {
+	var out []string
+	for _, n := range r.members {
+		out = append(out, n)
+	}
+	return out
+}
+`)
+	if codesOf(diags)[CodeNondetRange] != 1 {
+		t.Fatalf("struct-field map range not caught: %v", diags)
+	}
+}
+
+func TestDetSliceRangeNotFlagged(t *testing.T) {
+	diags := lintSrc(t, `package p
+
+func double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("slice range flagged: %v", diags)
+	}
+}
+
+// TestDetCatchesTimeNowInSimStyleFile is the regression the Makefile's
+// verify target depends on: introducing wall-clock time into kernel-style
+// code must fail the lint.
+func TestDetCatchesTimeNowInSimStyleFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sim.go")
+	src := `package sim
+
+import "time"
+
+type Kernel struct{ now int64 }
+
+func (k *Kernel) Now() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LintGoFiles([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxSeverity(diags) < Error {
+		t.Fatalf("time.Now in sim-style code did not produce an error: %v", diags)
+	}
+}
+
+func TestExpandGoPatternsSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []string{"a.go", "a_test.go", "b.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub := filepath.Join(dir, "testdata")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "c.go"), []byte("package q\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := ExpandGoPatterns([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || filepath.Base(files[0]) != "a.go" {
+		t.Fatalf("files = %v, want just a.go", files)
+	}
+}

@@ -1,0 +1,633 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plasma/internal/epl"
+)
+
+// Diagnostic codes of the EPL passes. Conflict warnings from epl.Check use
+// the EPL1xx range; the analyzer's own passes use EPL0xx.
+const (
+	CodeParse       = "EPL000" // source does not parse
+	CodeUnsat       = "EPL001" // condition (or a branch of it) can never be true
+	CodeOutOfRange  = "EPL002" // threshold outside the statistic's domain
+	CodeTautology   = "EPL003" // comparison or disjunction that is always true
+	CodeFlapping    = "EPL010" // scale-up/scale-down thresholds with no hysteresis band
+	CodeShadowed    = "EPL020" // rule contained in an earlier conflicting rule
+	CodeUnusedVar   = "EPL030" // rule variable declared but never referenced
+	CodeNondetTime  = "DET001" // wall-clock time in deterministic code
+	CodeNondetRand  = "DET002" // global math/rand in deterministic code
+	CodeNondetRange = "DET003" // unsorted map iteration feeding output
+)
+
+// Pass is one independently runnable policy analysis.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(pol *epl.Policy, schema *epl.Schema) []Diagnostic
+}
+
+// Passes returns the EPL pass registry in execution order.
+func Passes() []Pass {
+	return []Pass{
+		{Name: "satisfiability", Doc: "interval analysis of conditions: unsatisfiable, out-of-range, tautological", Run: satisfiabilityPass},
+		{Name: "flapping", Doc: "provision/decommission threshold pairs with no hysteresis band", Run: flappingPass},
+		{Name: "shadowing", Doc: "rules subsumed by earlier rules with conflicting behaviors", Run: shadowingPass},
+		{Name: "unused", Doc: "rule variables never referenced by any behavior or condition", Run: unusedPass},
+	}
+}
+
+// AnalyzePolicy runs every registered pass over the policy and returns the
+// combined findings in deterministic order. The schema may be nil.
+func AnalyzePolicy(pol *epl.Policy, schema *epl.Schema) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range Passes() {
+		out = append(out, p.Run(pol, schema)...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// CheckAndAnalyze is the full front end: epl.Check (semantic errors +
+// conflict warnings, converted to diagnostics) followed by the analyzer
+// passes. A semantic error is returned as-is; the policy should not be used.
+func CheckAndAnalyze(pol *epl.Policy, schema *epl.Schema) ([]Diagnostic, error) {
+	warns, err := epl.Check(pol, schema)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Diagnostic, 0, len(warns))
+	for _, w := range warns {
+		out = append(out, Diagnostic{
+			Code: w.Code, Severity: Warning,
+			Line: w.Pos.Line, Col: w.Pos.Col,
+			Message: w.Msg, Rules: w.Rules,
+		})
+	}
+	out = append(out, AnalyzePolicy(pol, schema)...)
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// ---- pass 1: interval / satisfiability analysis ----
+
+func satisfiabilityPass(pol *epl.Policy, _ *epl.Schema) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range pol.Rules {
+		out = append(out, checkAtoms(r)...)
+		out = append(out, checkOrTautology(r)...)
+
+		djs, ok := toDNF(r.Cond)
+		if !ok {
+			continue
+		}
+		dead := 0
+		var firstDead *disjunct
+		var deadKey string
+		for _, d := range djs {
+			if key, bad := d.unsat(); bad {
+				dead++
+				if firstDead == nil {
+					firstDead, deadKey = d, key
+				}
+			}
+		}
+		switch {
+		case dead == len(djs):
+			fi := firstDead.ivs[deadKey]
+			out = append(out, Diagnostic{
+				Code: CodeUnsat, Severity: Error,
+				Line: r.Pos.Line, Col: r.Pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("rule #%d can never fire: no value of %s satisfies its condition (empty interval on %s)",
+					r.Index, deadKey, fi.iv),
+				Fix: "widen or remove one of the contradictory bounds",
+			})
+		case dead > 0:
+			out = append(out, Diagnostic{
+				Code: CodeUnsat, Severity: Warning,
+				Line: firstDead.pos.Line, Col: firstDead.pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("rule #%d: %d of %d condition branches can never be true (empty interval on %s)",
+					r.Index, dead, len(djs), deadKey),
+				Fix: "delete the dead branch or fix its bounds",
+			})
+		}
+	}
+	return out
+}
+
+// checkAtoms flags individual comparisons whose threshold lies outside the
+// statistic's domain (EPL002) or which are satisfied by every value in it
+// (EPL003).
+func checkAtoms(r *epl.Rule) []Diagnostic {
+	var out []Diagnostic
+	walkCmps(r.Cond, func(c *epl.CmpCond) {
+		dom := domainFor(c.Stat)
+		if c.Stat == epl.Perc && (c.Val < 0 || c.Val > 100) {
+			out = append(out, Diagnostic{
+				Code: CodeOutOfRange, Severity: Warning,
+				Line: c.Pos.Line, Col: c.Pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("threshold %g of %q is outside the perc domain [0, 100]", c.Val, c.String()),
+				Fix:     "use a threshold in [0, 100]",
+			})
+		}
+		if c.Stat != epl.Perc && c.Val < 0 {
+			out = append(out, Diagnostic{
+				Code: CodeOutOfRange, Severity: Warning,
+				Line: c.Pos.Line, Col: c.Pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("threshold %g of %q is negative; %s is never below 0", c.Val, c.String(), c.Stat),
+				Fix:     "use a non-negative threshold",
+			})
+		}
+		if dom.constrain(c.Op, c.Val).contains(dom) {
+			out = append(out, Diagnostic{
+				Code: CodeTautology, Severity: Warning,
+				Line: c.Pos.Line, Col: c.Pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("comparison %q is true for every %s value in %s", c.String(), c.Stat, dom),
+				Fix:     "delete the comparison or tighten its bound",
+			})
+		}
+	})
+	return out
+}
+
+// checkOrTautology flags disjunctions over the same feature whose interval
+// union covers the whole domain — "x > 50 or x < 60" is always true, so
+// the rule degenerates to an unconditional behavior.
+func checkOrTautology(r *epl.Rule) []Diagnostic {
+	var out []Diagnostic
+	var walk func(c epl.Cond)
+	walk = func(c epl.Cond) {
+		switch cond := c.(type) {
+		case *epl.AndCond:
+			walk(cond.L)
+			walk(cond.R)
+		case *epl.OrCond:
+			walk(cond.L)
+			walk(cond.R)
+			lKey, lIv, lOK := singleFeature(cond.L)
+			rKey, rIv, rOK := singleFeature(cond.R)
+			if lOK && rOK && lKey == rKey && covers(lIv.iv, rIv.iv, domainFor(lIv.stat)) {
+				out = append(out, Diagnostic{
+					Code: CodeTautology, Severity: Warning,
+					Line: lIv.pos.Line, Col: lIv.pos.Col, Rules: []int{r.Index},
+					Message: fmt.Sprintf("disjunction over %s is always true: %s and %s cover the whole domain %s",
+						lKey, lIv.iv, rIv.iv, domainFor(lIv.stat)),
+					Fix: "leave a gap between the bounds (hysteresis band)",
+				})
+			}
+		}
+	}
+	walk(r.Cond)
+	return out
+}
+
+// singleFeature reduces a condition to one feature interval when it
+// constrains exactly one feature and nothing else.
+func singleFeature(c epl.Cond) (string, featIv, bool) {
+	djs, ok := toDNF(c)
+	if !ok || len(djs) != 1 {
+		return "", featIv{}, false
+	}
+	d := djs[0]
+	if len(d.ivs) != 1 || len(d.atoms) != 0 {
+		return "", featIv{}, false
+	}
+	for key, fi := range d.ivs {
+		return key, fi, true
+	}
+	return "", featIv{}, false
+}
+
+func walkCmps(c epl.Cond, f func(*epl.CmpCond)) {
+	switch cond := c.(type) {
+	case *epl.AndCond:
+		walkCmps(cond.L, f)
+		walkCmps(cond.R, f)
+	case *epl.OrCond:
+		walkCmps(cond.L, f)
+		walkCmps(cond.R, f)
+	case *epl.CmpCond:
+		f(cond)
+	}
+}
+
+// ---- pass 2: flapping detection ----
+
+// trigger is one server-utilization threshold extracted from a rule
+// condition: an upper trigger ("perc > 80") fires the rule on high load
+// (provision class), a lower trigger ("perc < 50") on low load
+// (decommission class).
+type trigger struct {
+	rule  int
+	res   epl.Resource
+	val   float64
+	upper bool
+	pos   epl.Pos
+}
+
+// flappingPass pairs provision-class triggers with decommission-class
+// triggers on the same server resource, for rules whose resource behaviors
+// affect overlapping actor types, and warns when the scale-up threshold
+// does not exceed the scale-down threshold: with no hysteresis band, any
+// load between the two fires both directions every period — the
+// oscillation the paper's elasticity period is meant to damp.
+func flappingPass(pol *epl.Policy, _ *epl.Schema) []Diagnostic {
+	var ups, downs []trigger
+	types := map[int]map[string]bool{}
+	for _, r := range pol.Rules {
+		if !r.HasResourceBehavior() {
+			continue
+		}
+		types[r.Index] = resourceTypes(pol, r)
+		walkCmps(r.Cond, func(c *epl.CmpCond) {
+			rf, ok := c.Feat.(*epl.ResFeature)
+			if !ok || !rf.Server || c.Stat != epl.Perc {
+				return
+			}
+			t := trigger{rule: r.Index, res: rf.Res, val: c.Val, pos: c.Pos}
+			switch c.Op {
+			case epl.GT, epl.GE:
+				t.upper = true
+				ups = append(ups, t)
+			case epl.LT, epl.LE:
+				downs = append(downs, t)
+			}
+		})
+	}
+
+	var out []Diagnostic
+	seen := map[[2]int]bool{}
+	for _, up := range ups {
+		for _, down := range downs {
+			if up.res != down.res {
+				continue
+			}
+			if !overlap(types[up.rule], types[down.rule]) {
+				continue
+			}
+			key := [2]int{up.rule, down.rule}
+			if seen[key] {
+				continue
+			}
+			band := up.val - down.val
+			if band > 0 {
+				continue
+			}
+			seen[key] = true
+			where := fmt.Sprintf("rules #%d and #%d", up.rule, down.rule)
+			if up.rule == down.rule {
+				where = fmt.Sprintf("rule #%d", up.rule)
+			}
+			out = append(out, Diagnostic{
+				Code: CodeFlapping, Severity: Warning,
+				Line: up.pos.Line, Col: up.pos.Col,
+				Rules: ruleSet(up.rule, down.rule),
+				Message: fmt.Sprintf("%s flap on server.%s.perc: scale-up threshold %g minus scale-down threshold %g leaves no hysteresis band (%g)",
+					where, up.res, up.val, down.val, band),
+				Fix: fmt.Sprintf("separate the thresholds, e.g. scale up above %g and down below %g", up.val, up.val-10),
+			})
+		}
+	}
+	return out
+}
+
+// resourceTypes is the set of actor types a rule's resource behaviors act
+// on, expanded through the schema hierarchy compiled by Check.
+func resourceTypes(pol *epl.Policy, r *epl.Rule) map[string]bool {
+	set := map[string]bool{}
+	for _, b := range r.Behaviors {
+		switch beh := b.(type) {
+		case *epl.BalanceBeh:
+			for _, t := range beh.Types {
+				for _, x := range pol.Expand(t) {
+					set[x] = true
+				}
+			}
+		case *epl.ReserveBeh:
+			for _, x := range pol.Expand(beh.Actor.Type()) {
+				set[x] = true
+			}
+		}
+	}
+	return set
+}
+
+// overlap reports whether two type sets intersect, with AnyType matching
+// every type.
+func overlap(a, b map[string]bool) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if a[epl.AnyType] || b[epl.AnyType] {
+		return true
+	}
+	for t := range a {
+		if b[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func ruleSet(rules ...int) []int {
+	set := map[int]bool{}
+	for _, r := range rules {
+		set[r] = true
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- pass 3: rule subsumption / shadowing ----
+
+// shadowingPass flags a rule whose condition region is contained in an
+// earlier rule's region while their behaviors demand contradictory
+// placements for overlapping actor types: whenever the later rule fires,
+// the earlier one fires too, and the runtime resolves the clash by
+// priority every single period.
+func shadowingPass(pol *epl.Policy, _ *epl.Schema) []Diagnostic {
+	type ruleDNF struct {
+		djs []*disjunct
+		ok  bool
+	}
+	dnfs := make([]ruleDNF, len(pol.Rules))
+	for i, r := range pol.Rules {
+		djs, ok := toDNF(r.Cond)
+		dnfs[i] = ruleDNF{djs, ok}
+	}
+
+	var out []Diagnostic
+	for j := 1; j < len(pol.Rules); j++ {
+		if !dnfs[j].ok {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if !dnfs[i].ok {
+				continue
+			}
+			if !regionContained(dnfs[j].djs, dnfs[i].djs) {
+				continue
+			}
+			desc, clash := behaviorsClash(pol, pol.Rules[i], pol.Rules[j])
+			if !clash {
+				continue
+			}
+			rj := pol.Rules[j]
+			out = append(out, Diagnostic{
+				Code: CodeShadowed, Severity: Warning,
+				Line: rj.Pos.Line, Col: rj.Pos.Col,
+				Rules: []int{i, j},
+				Message: fmt.Sprintf("rule #%d is shadowed by earlier rule #%d: its condition is contained in rule #%d's and their behaviors conflict (%s)",
+					j, i, i, desc),
+				Fix: "reorder the rules, disjoin their conditions, or drop one behavior",
+			})
+		}
+	}
+	return out
+}
+
+// regionContained reports whether every disjunct of inner lies inside some
+// disjunct of outer — inner's condition implies outer's.
+func regionContained(inner, outer []*disjunct) bool {
+	for _, di := range inner {
+		held := false
+		for _, do := range outer {
+			if di.containedIn(do) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			return false
+		}
+	}
+	return true
+}
+
+// behSummary is a rule's placement demands by expanded actor type.
+type behSummary struct {
+	coloc    map[string]map[string]bool // unordered expanded type pairs
+	sep      map[string]map[string]bool
+	pinned   map[string]bool
+	balanced map[string]bool
+	reserved map[string]bool
+}
+
+func summarize(pol *epl.Policy, r *epl.Rule) behSummary {
+	s := behSummary{
+		coloc: map[string]map[string]bool{}, sep: map[string]map[string]bool{},
+		pinned: map[string]bool{}, balanced: map[string]bool{}, reserved: map[string]bool{},
+	}
+	addPair := func(m map[string]map[string]bool, a, b string) {
+		for _, xa := range pol.Expand(a) {
+			for _, xb := range pol.Expand(b) {
+				lo, hi := xa, xb
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if m[lo] == nil {
+					m[lo] = map[string]bool{}
+				}
+				m[lo][hi] = true
+			}
+		}
+	}
+	addSet := func(m map[string]bool, t string) {
+		for _, x := range pol.Expand(t) {
+			m[x] = true
+		}
+	}
+	for _, b := range r.Behaviors {
+		switch beh := b.(type) {
+		case *epl.ColocateBeh:
+			addPair(s.coloc, beh.A.Type(), beh.B.Type())
+		case *epl.SeparateBeh:
+			addPair(s.sep, beh.A.Type(), beh.B.Type())
+		case *epl.PinBeh:
+			addSet(s.pinned, beh.Actor.Type())
+		case *epl.BalanceBeh:
+			for _, t := range beh.Types {
+				addSet(s.balanced, t)
+			}
+		case *epl.ReserveBeh:
+			addSet(s.reserved, beh.Actor.Type())
+		}
+	}
+	return s
+}
+
+// behaviorsClash reports whether two rules' behaviors demand contradictory
+// placements for overlapping types, mirroring the §4.3 conflict classes.
+func behaviorsClash(pol *epl.Policy, ri, rj *epl.Rule) (string, bool) {
+	a, b := summarize(pol, ri), summarize(pol, rj)
+	if p, ok := pairsIntersect(a.coloc, b.sep); ok {
+		return "colocate vs separate of " + p, true
+	}
+	if p, ok := pairsIntersect(b.coloc, a.sep); ok {
+		return "colocate vs separate of " + p, true
+	}
+	for _, clash := range []struct {
+		x, y map[string]bool
+		desc string
+	}{
+		{a.pinned, b.balanced, "pin vs balance"},
+		{b.pinned, a.balanced, "pin vs balance"},
+		{a.pinned, b.reserved, "pin vs reserve"},
+		{b.pinned, a.reserved, "pin vs reserve"},
+		{a.reserved, b.balanced, "reserve vs balance"},
+		{b.reserved, a.balanced, "reserve vs balance"},
+	} {
+		if overlap(clash.x, clash.y) {
+			return clash.desc + " of type " + overlapName(clash.x, clash.y), true
+		}
+	}
+	return "", false
+}
+
+func pairsIntersect(a, b map[string]map[string]bool) (string, bool) {
+	los := make([]string, 0, len(a))
+	for lo := range a {
+		los = append(los, lo)
+	}
+	sort.Strings(los)
+	for _, lo := range los {
+		his := make([]string, 0, len(a[lo]))
+		for hi := range a[lo] {
+			his = append(his, hi)
+		}
+		sort.Strings(his)
+		for _, hi := range his {
+			if b[lo][hi] {
+				return fmt.Sprintf("types %q and %q", lo, hi), true
+			}
+		}
+	}
+	return "", false
+}
+
+func overlapName(a, b map[string]bool) string {
+	if a[epl.AnyType] || b[epl.AnyType] {
+		names := make([]string, 0, len(a)+len(b))
+		for t := range a {
+			names = append(names, t)
+		}
+		for t := range b {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			if t != epl.AnyType {
+				return fmt.Sprintf("%q", t)
+			}
+		}
+		return fmt.Sprintf("%q", epl.AnyType)
+	}
+	names := make([]string, 0, len(a))
+	for t := range a {
+		if b[t] {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%q", names[0])
+}
+
+// ---- pass 4: unused declarations ----
+
+// unusedPass flags rule variables that are declared (Type(v)) but never
+// referenced again by any condition atom or behavior: the declaration
+// could be an anonymous pattern, and an unused name usually means the
+// author meant to constrain something and did not.
+func unusedPass(pol *epl.Policy, _ *epl.Schema) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range pol.Rules {
+		uses := map[*epl.VarDecl]int{}
+		for _, ref := range ruleRefs(r) {
+			// A use is a ref bound to the decl other than the declaring
+			// occurrence itself (which carries the type name).
+			if ref.Decl != nil && ref.TypeName == "" {
+				uses[ref.Decl]++
+			}
+		}
+		for _, v := range r.Vars {
+			if uses[v] > 0 {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Code: CodeUnusedVar, Severity: Info,
+				Line: v.Pos.Line, Col: v.Pos.Col, Rules: []int{r.Index},
+				Message: fmt.Sprintf("rule #%d declares variable %q but never references it", r.Index, v.Name),
+				Fix:     fmt.Sprintf("use the anonymous pattern %s instead of %s(%s)", v.Type, v.Type, v.Name),
+			})
+		}
+	}
+	return out
+}
+
+// ruleRefs collects every actor reference in a rule, conditions and
+// behaviors alike.
+func ruleRefs(r *epl.Rule) []*epl.ActorRef {
+	var refs []*epl.ActorRef
+	add := func(rs ...*epl.ActorRef) {
+		for _, ref := range rs {
+			if ref != nil {
+				refs = append(refs, ref)
+			}
+		}
+	}
+	var walk func(c epl.Cond)
+	walk = func(c epl.Cond) {
+		switch cond := c.(type) {
+		case *epl.AndCond:
+			walk(cond.L)
+			walk(cond.R)
+		case *epl.OrCond:
+			walk(cond.L)
+			walk(cond.R)
+		case *epl.InRefCond:
+			add(cond.Sub, cond.Container)
+		case *epl.CmpCond:
+			switch f := cond.Feat.(type) {
+			case *epl.ResFeature:
+				if !f.Server {
+					add(f.Actor)
+				}
+			case *epl.CallFeature:
+				add(f.Callee)
+				if !f.Client {
+					add(f.Caller)
+				}
+			}
+		}
+	}
+	walk(r.Cond)
+	for _, b := range r.Behaviors {
+		switch beh := b.(type) {
+		case *epl.ReserveBeh:
+			add(beh.Actor)
+		case *epl.ColocateBeh:
+			add(beh.A, beh.B)
+		case *epl.SeparateBeh:
+			add(beh.A, beh.B)
+		case *epl.PinBeh:
+			add(beh.Actor)
+		}
+	}
+	return refs
+}
+
+// describeRules renders rule indices for messages: "#1, #3".
+func describeRules(rules []int) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = fmt.Sprintf("#%d", r)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+
+	"plasma/internal/epl"
+)
+
+// interval is a numeric range with open/closed endpoints, used to model
+// the set of feature values satisfying a conjunction of comparisons.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+// domainFor is the full value range of a feature statistic: utilization
+// percentages live in [0,100], counts and sizes in [0,+inf).
+func domainFor(stat epl.Stat) interval {
+	if stat == epl.Perc {
+		return interval{lo: 0, hi: 100}
+	}
+	return interval{lo: 0, hi: math.Inf(1), hiOpen: true}
+}
+
+// constrain intersects the interval with "value op bound".
+func (iv interval) constrain(op epl.CmpOp, v float64) interval {
+	switch op {
+	case epl.LT:
+		if v < iv.hi || (v == iv.hi && !iv.hiOpen) {
+			iv.hi, iv.hiOpen = v, true
+		}
+	case epl.LE:
+		if v < iv.hi {
+			iv.hi, iv.hiOpen = v, false
+		}
+	case epl.GT:
+		if v > iv.lo || (v == iv.lo && !iv.loOpen) {
+			iv.lo, iv.loOpen = v, true
+		}
+	case epl.GE:
+		if v > iv.lo {
+			iv.lo, iv.loOpen = v, false
+		}
+	}
+	return iv
+}
+
+// empty reports whether no value satisfies the interval.
+func (iv interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	return iv.lo == iv.hi && (iv.loOpen || iv.hiOpen)
+}
+
+// contains reports whether other is a subset of iv.
+func (iv interval) contains(other interval) bool {
+	if other.empty() {
+		return true
+	}
+	loOK := iv.lo < other.lo || (iv.lo == other.lo && (!iv.loOpen || other.loOpen))
+	hiOK := iv.hi > other.hi || (iv.hi == other.hi && (!iv.hiOpen || other.hiOpen))
+	return loOK && hiOK
+}
+
+// covers reports whether the union of a and b includes all of dom — the
+// tautology test for "x > lo or x < hi" disjunctions.
+func covers(a, b, dom interval) bool {
+	if a.contains(dom) || b.contains(dom) {
+		return true
+	}
+	lo, hi := a, b
+	if b.lo < a.lo || (b.lo == a.lo && !b.loOpen && a.loOpen) {
+		lo, hi = b, a
+	}
+	// lo must reach the domain's left edge, hi its right edge, and the two
+	// must overlap (or at least touch with one side closed).
+	if !(lo.lo < dom.lo || (lo.lo == dom.lo && (!lo.loOpen || dom.loOpen))) {
+		return false
+	}
+	if !(hi.hi > dom.hi || (hi.hi == dom.hi && (!hi.hiOpen || dom.hiOpen))) {
+		return false
+	}
+	if lo.hi > hi.lo {
+		return true
+	}
+	return lo.hi == hi.lo && !(lo.hiOpen && hi.loOpen)
+}
+
+func (iv interval) String() string {
+	l, r := "[", "]"
+	if iv.loOpen {
+		l = "("
+	}
+	if iv.hiOpen {
+		r = ")"
+	}
+	return fmt.Sprintf("%s%g, %g%s", l, iv.lo, iv.hi, r)
+}
+
+// featKey canonically names what a CmpCond measures, so two comparisons on
+// the same feature and statistic constrain the same value.
+func featKey(c *epl.CmpCond) string {
+	return c.Feat.String() + "." + c.Stat.String()
+}
+
+// featIv is the interval a disjunct allows for one feature.
+type featIv struct {
+	stat epl.Stat
+	iv   interval
+	pos  epl.Pos
+}
+
+// disjunct is one conjunction of a condition's disjunctive normal form:
+// per-feature intervals from CmpConds plus the set of non-comparison atoms
+// (InRef conditions) it requires, keyed by their canonical strings.
+type disjunct struct {
+	ivs   map[string]featIv
+	atoms map[string]bool
+	pos   epl.Pos
+}
+
+func newDisjunct(pos epl.Pos) *disjunct {
+	return &disjunct{ivs: map[string]featIv{}, atoms: map[string]bool{}, pos: pos}
+}
+
+func (d *disjunct) clone() *disjunct {
+	nd := newDisjunct(d.pos)
+	for k, v := range d.ivs {
+		nd.ivs[k] = v
+	}
+	for k := range d.atoms {
+		nd.atoms[k] = true
+	}
+	return nd
+}
+
+// addCmp intersects the disjunct with one comparison atom.
+func (d *disjunct) addCmp(c *epl.CmpCond) {
+	key := featKey(c)
+	fi, ok := d.ivs[key]
+	if !ok {
+		fi = featIv{stat: c.Stat, iv: domainFor(c.Stat), pos: c.Pos}
+	}
+	fi.iv = fi.iv.constrain(c.Op, c.Val)
+	d.ivs[key] = fi
+}
+
+// unsat reports whether the disjunct is unsatisfiable, and if so on which
+// feature.
+func (d *disjunct) unsat() (string, bool) {
+	for key, fi := range d.ivs {
+		if fi.iv.empty() {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// containedIn reports whether every assignment satisfying d also satisfies
+// outer: outer's intervals must contain d's (features outer leaves
+// unconstrained constrain nothing), and outer's non-comparison atoms must
+// all be required by d as well.
+func (d *disjunct) containedIn(outer *disjunct) bool {
+	for key, ofi := range outer.ivs {
+		dfi, ok := d.ivs[key]
+		if !ok {
+			// d does not constrain this feature, so values outside outer's
+			// interval satisfy d but not outer.
+			if !ofi.iv.contains(domainFor(ofi.stat)) {
+				return false
+			}
+			continue
+		}
+		if !ofi.iv.contains(dfi.iv) {
+			return false
+		}
+	}
+	for atom := range outer.atoms {
+		if !d.atoms[atom] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxDisjuncts caps DNF expansion as a runaway guard; conditions past the
+// cap skip disjunct-level analyses.
+const maxDisjuncts = 128
+
+// toDNF expands a condition into disjunctive normal form. The second result
+// is false when the expansion would exceed maxDisjuncts.
+func toDNF(c epl.Cond) ([]*disjunct, bool) {
+	switch cond := c.(type) {
+	case *epl.TrueCond:
+		return []*disjunct{newDisjunct(cond.Pos)}, true
+	case *epl.OrCond:
+		l, ok := toDNF(cond.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := toDNF(cond.R)
+		if !ok {
+			return nil, false
+		}
+		out := append(l, r...)
+		return out, len(out) <= maxDisjuncts
+	case *epl.AndCond:
+		l, ok := toDNF(cond.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := toDNF(cond.R)
+		if !ok {
+			return nil, false
+		}
+		if len(l)*len(r) > maxDisjuncts {
+			return nil, false
+		}
+		var out []*disjunct
+		for _, dl := range l {
+			for _, dr := range r {
+				nd := dl.clone()
+				for k, v := range dr.ivs {
+					fi, ok := nd.ivs[k]
+					if !ok {
+						nd.ivs[k] = v
+						continue
+					}
+					// Intersect the two interval constraints.
+					iv := fi.iv
+					if v.iv.lo > iv.lo || (v.iv.lo == iv.lo && v.iv.loOpen) {
+						iv.lo, iv.loOpen = v.iv.lo, v.iv.loOpen
+					}
+					if v.iv.hi < iv.hi || (v.iv.hi == iv.hi && v.iv.hiOpen) {
+						iv.hi, iv.hiOpen = v.iv.hi, v.iv.hiOpen
+					}
+					fi.iv = iv
+					nd.ivs[k] = fi
+				}
+				for k := range dr.atoms {
+					nd.atoms[k] = true
+				}
+				out = append(out, nd)
+			}
+		}
+		return out, true
+	case *epl.CmpCond:
+		d := newDisjunct(cond.Pos)
+		d.addCmp(cond)
+		return []*disjunct{d}, true
+	case *epl.InRefCond:
+		d := newDisjunct(cond.Pos)
+		d.atoms[cond.String()] = true
+		return []*disjunct{d}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsDeterminismClean asserts the repository invariant that `make
+// verify` enforces: the determinism linter reports nothing on internal/
+// and cmd/. Legitimate seeded-RNG sites carry //lint:ignore annotations;
+// any new wall-clock read, global rand call, or unsorted map-order output
+// fails this test.
+func TestRepoIsDeterminismClean(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Skip("go.mod not found; not running inside the repository")
+		}
+		root = parent
+	}
+	files, err := ExpandGoPatterns([]string{
+		filepath.Join(root, "internal") + "/...",
+		filepath.Join(root, "cmd") + "/...",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no Go files found to lint")
+	}
+	diags, err := LintGoFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		t.Fatalf("%d determinism findings in the repository; fix them or annotate with //lint:ignore", len(diags))
+	}
+}

@@ -9,6 +9,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	//lint:ignore DET002 the kernel owns the seeded RNG every component draws from
 	"math/rand"
 )
 
