@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet race bench lint verify
+# Perf-gate knobs: the checked-in baseline to compare against, and the
+# relative slowdown allowed before bench-quick fails. The wall-time
+# tolerance is deliberately wide (shared/virtualized runners jitter by tens
+# of percent); the gate's load-bearing checks — allocation counts and
+# bit-exact event/summary determinism at fixed seed — are timing-immune,
+# and a real hot-path regression (e.g. reintroducing per-event boxing)
+# multiplies allocs/op far past any tolerance.
+BENCH_BASELINE ?= BENCH_2026-08-05.json
+BENCH_TOLERANCE ?= 0.60
+
+.PHONY: build test vet race bench bench-quick bench-baseline lint verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +27,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-quick measures the quick-scale evaluation sweep and fails on
+# regression against the checked-in baseline: slowdown/alloc growth past
+# BENCH_TOLERANCE, or any determinism drift at fixed seed.
+bench-quick:
+	$(GO) run ./cmd/plasma-bench -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+
+# bench-baseline regenerates the checked-in baseline (run on a quiet
+# machine; commit the refreshed JSON alongside the change justifying it).
+bench-baseline:
+	$(GO) run ./cmd/plasma-bench -json -o $(BENCH_BASELINE)
+
 # lint runs the determinism linter over all simulator and CLI code; any
 # wall-clock read, global math/rand use, or unsorted map-order output fails
 # (warnings included, via -Werror).
@@ -24,5 +45,7 @@ lint:
 	$(GO) run ./cmd/plasma-lint -Werror ./internal/... ./cmd/...
 
 # verify is the pre-merge gate: everything compiles, vet is clean, the full
-# suite passes under the race detector, and the determinism lint is clean.
-verify: build vet race lint
+# suite passes under the race detector, the determinism lint is clean, and
+# the quick-scale sweep shows no perf regression or determinism drift
+# against the checked-in bench baseline.
+verify: build vet race lint bench-quick

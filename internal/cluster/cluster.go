@@ -38,11 +38,16 @@ var (
 // MachineID identifies a machine within its cluster.
 type MachineID int
 
-// work is one CPU task occupying a core for its cost.
+// work is one CPU task occupying a core for its cost. Completed work
+// structs are recycled through the machine's free list, and fire — the
+// completion callback handed to the kernel — is built once per struct, so
+// the steady-state Exec path allocates nothing.
 type work struct {
 	cost  sim.Duration
 	start sim.Time
 	done  func()
+	fire  func() // reusable completion closure: m.complete(w)
+	next  *work  // free-list link
 }
 
 // Machine is a simulated server.
@@ -57,6 +62,7 @@ type Machine struct {
 
 	active []*work // currently running, len <= VCPUs
 	queue  []*work // waiting for a core
+	freeW  *work   // recycled work structs
 
 	windowStart sim.Time
 	busyWindow  sim.Duration // completed core-busy time since windowStart
@@ -90,7 +96,8 @@ func (m *Machine) Exec(cost sim.Duration, done func()) {
 	if m.failed {
 		return
 	}
-	w := &work{cost: m.ScaledCost(cost), done: done}
+	w := m.allocWork()
+	w.cost, w.done = m.ScaledCost(cost), done
 	if len(m.active) < m.Type.VCPUs {
 		m.start(w)
 	} else {
@@ -98,15 +105,31 @@ func (m *Machine) Exec(cost sim.Duration, done func()) {
 	}
 }
 
+// allocWork pops a recycled work struct or builds a fresh one with its
+// permanent completion closure.
+func (m *Machine) allocWork() *work {
+	if w := m.freeW; w != nil {
+		m.freeW = w.next
+		w.next = nil
+		return w
+	}
+	w := &work{}
+	w.fire = func() { m.complete(w) }
+	return w
+}
+
 func (m *Machine) start(w *work) {
 	w.start = m.k.Now()
 	m.active = append(m.active, w)
-	m.k.After(w.cost, func() { m.complete(w) })
+	m.k.After(w.cost, w.fire)
 }
 
 func (m *Machine) complete(w *work) {
 	if m.failed {
-		return // the machine crashed while this work was in flight
+		// The machine crashed while this work was in flight. The struct is
+		// NOT recycled: Fail dropped it from the run queues, and leaving it
+		// out of the free list keeps a later stale fire harmless.
+		return
 	}
 	for i, a := range m.active {
 		if a == w {
@@ -120,8 +143,15 @@ func (m *Machine) complete(w *work) {
 		m.queue = m.queue[1:]
 		m.start(next)
 	}
-	if w.done != nil {
-		w.done()
+	done := w.done
+	// Recycle before running done: the kernel event that fired us was this
+	// struct's only pending reference, and done may Exec new work that can
+	// immediately reuse it.
+	w.done = nil
+	w.next = m.freeW
+	m.freeW = w
+	if done != nil {
+		done()
 	}
 }
 

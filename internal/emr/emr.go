@@ -199,7 +199,8 @@ type Manager struct {
 
 	Stats   Stats
 	running bool
-	booting int // provisioned machines not yet up (scale-out cooldown)
+	timer   *sim.Timer // reusable tick timer; re-armed each period
+	booting int        // provisioned machines not yet up (scale-out cooldown)
 
 	chaosI chaos.Interceptor // nil = reliable control plane
 }
@@ -269,7 +270,9 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 }
 
 // Start installs the new-actor placement hook and schedules periodic
-// elasticity management.
+// elasticity management on a reusable kernel timer: each period re-arms
+// the same slot (sim.Timer.Reset), so the tick loop costs one heap push
+// and zero allocations per period.
 func (m *Manager) Start() {
 	if m.running {
 		return
@@ -277,13 +280,18 @@ func (m *Manager) Start() {
 	m.running = true
 	m.RT.SetPlacement(m)
 	m.Prof.Reset()
-	m.K.Every(m.Cfg.Period, func() bool {
-		if !m.running {
-			return false
-		}
-		m.tick()
-		return true
-	})
+	m.timer = m.K.AfterFunc(m.Cfg.Period, m.tickLoop)
+}
+
+// tickLoop runs one elasticity period and re-arms the timer. After Stop,
+// the pending fire lapses without rescheduling (releasing the timer slot),
+// matching the lazy shutdown of the previous Every-based loop.
+func (m *Manager) tickLoop() {
+	if !m.running {
+		return
+	}
+	m.tick()
+	m.timer.Reset(m.Cfg.Period)
 }
 
 // Stop halts elasticity management after the current period.

@@ -209,7 +209,7 @@ func chaosPagerank(cfg Config, seed int64) chaosRun {
 		iterations = 80
 	}
 	period := 500 * sim.Millisecond
-	k := sim.New(seed)
+	k := cfg.kernelSeeded(seed)
 	c := cluster.New(k, 4, cluster.M5Large)
 	rt := actor.NewRuntime(k, c)
 	prof := profile.New(k, c, rt)
@@ -273,7 +273,7 @@ func chaosMediaService(cfg Config, seed int64) chaosRun {
 	period := 5 * sim.Second
 	clientSite := cluster.MachineID(4)
 
-	k := sim.New(seed)
+	k := cfg.kernelSeeded(seed)
 	c := cluster.New(k, 5, cluster.M1Small)
 	rt := actor.NewRuntime(k, c)
 	prof := profile.New(k, c, rt)
@@ -351,7 +351,7 @@ func chaosHalo(cfg Config, seed int64) chaosRun {
 	period := 10 * sim.Second
 	servers := 8
 
-	k := sim.New(seed)
+	k := cfg.kernelSeeded(seed)
 	c := cluster.New(k, servers+2, cluster.M1Small)
 	rt := actor.NewRuntime(k, c)
 	prof := profile.New(k, c, rt)

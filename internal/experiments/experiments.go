@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"plasma/internal/metrics"
+	"plasma/internal/sim"
 )
 
 // Result is one experiment's output.
@@ -28,6 +29,13 @@ type Result struct {
 	Summary map[string]float64
 	// Notes records observations comparing against the paper's claims.
 	Notes []string
+
+	// EventsFired and PeakQueue aggregate simulation-kernel effort across
+	// every kernel the run created (filled by Run, consumed by
+	// cmd/plasma-bench for events/sec and queue-pressure reporting). They
+	// are not rendered: Render output stays bit-identical per seed.
+	EventsFired uint64
+	PeakQueue   int
 }
 
 func newResult(id, title string) *Result {
@@ -97,6 +105,11 @@ func (r *Result) Render() string {
 type Config struct {
 	Full bool
 	Seed int64
+
+	// stats, when non-nil, collects every kernel created through
+	// Config.kernel/kernelSeeded so Run can aggregate event counts and
+	// queue depths (set internally by Run).
+	stats *simTracker
 }
 
 func (c Config) seed() int64 {
@@ -104,6 +117,37 @@ func (c Config) seed() int64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// kernel builds the experiment's simulation kernel from the configured
+// seed, registering it for perf accounting when the run is traced.
+func (c Config) kernel() *sim.Kernel { return c.kernelSeeded(c.seed()) }
+
+// kernelSeeded is kernel for experiments that derive several seeds from
+// the base one (multi-seed averaging, chaos schedules).
+func (c Config) kernelSeeded(seed int64) *sim.Kernel {
+	k := sim.New(seed)
+	if c.stats != nil {
+		c.stats.kernels = append(c.stats.kernels, k)
+	}
+	return k
+}
+
+// simTracker accumulates the kernels an experiment creates; totals are
+// read once the experiment function returns (all kernels idle by then).
+type simTracker struct {
+	kernels []*sim.Kernel
+}
+
+func (t *simTracker) totals() (fired uint64, peak int) {
+	for _, k := range t.kernels {
+		st := k.Stats()
+		fired += st.Fired
+		if st.PeakQueue > peak {
+			peak = st.PeakQueue
+		}
+	}
+	return fired, peak
 }
 
 // Registry maps experiment ids to runners.
@@ -134,13 +178,18 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id and fills the result's kernel-effort
+// counters (EventsFired, PeakQueue).
 func Run(id string, cfg Config) (*Result, error) {
 	fn, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return fn(cfg), nil
+	tr := &simTracker{}
+	cfg.stats = tr
+	res := fn(cfg)
+	res.EventsFired, res.PeakQueue = tr.totals()
+	return res, nil
 }
 
 func ms(x float64) string { return fmt.Sprintf("%.1f ms", x) }

@@ -44,7 +44,7 @@ func Fig10(cfg Config) *Result {
 
 	meanLat := map[sim.Duration]float64{}
 	for _, period := range periods {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, 4, cluster.M1Small)
 		c.SetMaxSize(65)
 		rt := actor.NewRuntime(k, c)

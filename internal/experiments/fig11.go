@@ -40,7 +40,7 @@ func Fig11a(cfg Config) *Result {
 	rounds, perRound := 4, 8
 
 	run := func(mode string) *workload.Recorder {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, 10, cluster.M1Small) // 8 app servers + 2 client sites
 		c.BaseLatency = haloBaseLatency
 		rt := actor.NewRuntime(k, c)
@@ -117,7 +117,7 @@ func Fig11b(cfg Config) *Result {
 		total = 80 * sim.Second
 	}
 
-	k := sim.New(cfg.seed())
+	k := cfg.kernel()
 	c := cluster.New(k, 10, cluster.M1Small)
 	c.BaseLatency = haloBaseLatency
 	rt := actor.NewRuntime(k, c)
@@ -206,7 +206,7 @@ func Fig11c(cfg Config) *Result {
 	}
 
 	for _, gems := range []int{1, 2, 4} {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, servers+2, cluster.M1Small)
 		c.BaseLatency = haloBaseLatency
 		rt := actor.NewRuntime(k, c)

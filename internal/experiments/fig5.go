@@ -31,7 +31,7 @@ func Fig5(cfg Config) *Result {
 	folders, filesPer := 4, 8
 
 	run := func(mode string) *workload.Recorder {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, 2, cluster.M1Small) // server 0 + one spare
 		rt := actor.NewRuntime(k, c)
 		prof := profile.New(k, c, rt)

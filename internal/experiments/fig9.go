@@ -34,7 +34,7 @@ func Fig9(cfg Config) *Result {
 	}
 
 	run := func(mode string) *workload.Recorder {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, 5, cluster.M1Small) // 4 app servers + 1 extra
 		rt := actor.NewRuntime(k, c)
 		prof := profile.New(k, c, rt)

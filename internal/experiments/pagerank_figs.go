@@ -52,7 +52,7 @@ type prEnv struct {
 }
 
 func buildPagerank(cfg Config, su prSetup, machines int, placement []cluster.MachineID, seed int64) *prEnv {
-	k := sim.New(seed)
+	k := cfg.kernelSeeded(seed)
 	inst := cluster.M5Large
 	if su.boot > 0 {
 		inst.Boot = su.boot

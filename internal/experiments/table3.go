@@ -24,7 +24,7 @@ func Table3(cfg Config) *Result {
 	}
 
 	run := func(inst cluster.InstanceType, users int, profiled bool) sim.Duration {
-		k := sim.New(cfg.seed())
+		k := cfg.kernel()
 		c := cluster.New(k, 1, inst)
 		rt := actor.NewRuntime(k, c)
 		if profiled {

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedHistogram is the constant-memory companion to Histogram for
+// high-volume series: a fixed number of equal-width buckets over [lo, hi),
+// with dedicated underflow/overflow buckets and exact min/max/sum. Observe
+// is O(1) and allocation-free; Percentile walks the bucket counts and
+// interpolates linearly inside the chosen bucket, so its error is bounded
+// by one bucket width (exact at the tracked min and max).
+type FixedHistogram struct {
+	lo, width float64
+	counts    []uint64
+	under     uint64 // samples below lo
+	over      uint64 // samples at or above hi
+	n         uint64
+	sum       float64
+	min, max  float64
+}
+
+// NewFixedHistogram builds a histogram with the given bucket count over
+// [lo, hi). It panics on a non-positive bucket count or an empty range —
+// both are programming errors, mirroring NewEWMA.
+func NewFixedHistogram(lo, hi float64, buckets int) *FixedHistogram {
+	if buckets <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("metrics: FixedHistogram range [%v,%v) with %d buckets", lo, hi, buckets))
+	}
+	return &FixedHistogram{
+		lo:     lo,
+		width:  (hi - lo) / float64(buckets),
+		counts: make([]uint64, buckets),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *FixedHistogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.n++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	switch i := int((x - h.lo) / h.width); {
+	case x < h.lo:
+		h.under++
+	case i >= len(h.counts):
+		h.over++
+	default:
+		h.counts[i]++
+	}
+}
+
+// Count reports the number of samples.
+func (h *FixedHistogram) Count() int { return int(h.n) }
+
+// Mean reports the exact arithmetic mean (0 if empty).
+func (h *FixedHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min reports the exact smallest sample (0 if empty).
+func (h *FixedHistogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the exact largest sample (0 if empty).
+func (h *FixedHistogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile reports an approximation of the p-th percentile. p outside
+// [0,100] is clamped; an empty histogram (or NaN p) reports NaN, matching
+// Histogram. The estimate interpolates within the bucket holding the rank;
+// underflow and overflow ranks resolve to the exact min and max.
+func (h *FixedHistogram) Percentile(p float64) float64 {
+	if h.n == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := p / 100 * float64(h.n-1)
+	if rank < float64(h.under) {
+		return h.min
+	}
+	cum := float64(h.under)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+float64(c) {
+			// Interpolate within bucket i by the rank's position among its
+			// count. The fraction is capped at 1 so a sparse bucket cannot
+			// project past its own top edge and break monotonicity; the
+			// result is further clamped to the observed extremes.
+			frac := (rank - cum + 0.5) / float64(c)
+			if frac > 1 {
+				frac = 1
+			}
+			bLo := h.lo + float64(i)*h.width
+			v := bLo + frac*h.width
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += float64(c)
+	}
+	return h.max
+}
+
+// Merge folds other into h. The histograms must share lo/width/buckets;
+// mismatched shapes panic.
+func (h *FixedHistogram) Merge(other *FixedHistogram) {
+	if h.lo != other.lo || h.width != other.width || len(h.counts) != len(other.counts) {
+		panic("metrics: merging FixedHistograms with different bucket layouts")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset discards all samples, keeping the bucket layout.
+func (h *FixedHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.under, h.over, h.n, h.sum = 0, 0, 0, 0
+	h.min, h.max = math.Inf(1), math.Inf(-1)
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedHistogramEmpty(t *testing.T) {
+	h := NewFixedHistogram(0, 100, 10)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty FixedHistogram should report zeros")
+	}
+	if got := h.Percentile(50); !math.IsNaN(got) {
+		t.Fatalf("empty Percentile(50) = %v, want NaN", got)
+	}
+}
+
+func TestFixedHistogramBadShapePanics(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi  float64
+		buckets int
+	}{{0, 100, 0}, {0, 100, -1}, {5, 5, 10}, {10, 5, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixedHistogram(%v, %v, %d) did not panic", c.lo, c.hi, c.buckets)
+				}
+			}()
+			NewFixedHistogram(c.lo, c.hi, c.buckets)
+		}()
+	}
+}
+
+func TestFixedHistogramExactStats(t *testing.T) {
+	h := NewFixedHistogram(0, 10, 10)
+	for _, x := range []float64{-5, 0.5, 2.5, 7.5, 42} { // under + in-range + over
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Min(); got != -5 {
+		t.Fatalf("min = %v, want -5 (exact across underflow)", got)
+	}
+	if got := h.Max(); got != 42 {
+		t.Fatalf("max = %v, want 42 (exact across overflow)", got)
+	}
+	if got, want := h.Mean(), (-5+0.5+2.5+7.5+42)/5.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 5 {
+		t.Fatal("NaN sample was not dropped")
+	}
+}
+
+// Percentile error is bounded by one bucket width against the exact
+// histogram, and p0/p100 are exact.
+func TestFixedHistogramPercentileWithinBucketWidth(t *testing.T) {
+	const lo, hi, buckets = 0.0, 100.0, 200
+	width := (hi - lo) / buckets
+	rng := rand.New(rand.NewSource(11))
+	fh := NewFixedHistogram(lo, hi, buckets)
+	var exact Histogram
+	for i := 0; i < 50000; i++ {
+		x := rng.Float64() * 100
+		fh.Observe(x)
+		exact.Observe(x)
+	}
+	for p := 0.0; p <= 100; p += 2.5 {
+		got, want := fh.Percentile(p), exact.Percentile(p)
+		if math.Abs(got-want) > width {
+			t.Fatalf("p%.1f: fixed %v vs exact %v differs by more than a bucket width %v", p, got, want, width)
+		}
+	}
+	if fh.Percentile(0) != exact.Percentile(0) || fh.Percentile(100) != exact.Percentile(100) {
+		t.Fatal("p0/p100 must be exact (tracked min/max)")
+	}
+}
+
+func TestFixedHistogramMerge(t *testing.T) {
+	a := NewFixedHistogram(0, 10, 5)
+	b := NewFixedHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i % 5))
+		b.Observe(float64(5 + i%5))
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count = %d, want 20", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 9 {
+		t.Fatalf("merged min/max = %v/%v, want 0/9", a.Min(), a.Max())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("merging mismatched layouts did not panic")
+			}
+		}()
+		a.Merge(NewFixedHistogram(0, 10, 7))
+	}()
+}
+
+func TestFixedHistogramReset(t *testing.T) {
+	h := NewFixedHistogram(0, 10, 5)
+	h.Observe(3)
+	h.Observe(12)
+	h.Reset()
+	if h.Count() != 0 || !math.IsNaN(h.Percentile(50)) {
+		t.Fatal("reset histogram should be empty")
+	}
+	h.Observe(4)
+	if got := h.Percentile(50); got != 4 {
+		t.Fatalf("post-reset p50 = %v, want 4", got)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [Min, Max], same
+// contract as the exact Histogram.
+func TestPropertyFixedPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewFixedHistogram(-100, 100, 64)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Observe(math.Mod(x, 500)) // keep some mass outside [-100,100)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Observe on the fixed-bucket variant must not allocate — that is its
+// reason to exist for high-volume series.
+func TestFixedHistogramObserveAllocFree(t *testing.T) {
+	h := NewFixedHistogram(0, 100, 50)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i % 137))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Observe allocated %.1f times per run; want 0", allocs)
+	}
+}

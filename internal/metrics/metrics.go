@@ -61,16 +61,22 @@ func (e *EWMA) Value() float64 { return e.v }
 
 // Histogram collects float64 samples for percentile queries. It is not
 // bucketed: experiment sample counts are small enough that exact percentiles
-// are affordable and simpler to reason about.
+// are affordable and simpler to reason about; FixedHistogram is the
+// constant-memory variant for high-volume series.
+//
+// Sorted state is maintained lazily and incrementally: queries sort only
+// the samples appended since the last query and merge them into the sorted
+// prefix, so a query burst costs one small tail sort instead of a full
+// re-sort per call.
 type Histogram struct {
 	samples []float64
-	sorted  bool
+	nsorted int       // prefix of samples known sorted
+	scratch []float64 // reused merge buffer
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(x float64) {
 	h.samples = append(h.samples, x)
-	h.sorted = false
 }
 
 // Count reports the number of samples.
@@ -106,13 +112,14 @@ func (h *Histogram) Max() float64 {
 	return h.samples[len(h.samples)-1]
 }
 
-// Percentile reports the p-th percentile (p in [0,100]) using linear
-// interpolation between closest ranks. Returns 0 if empty.
+// Percentile reports the p-th percentile using linear interpolation
+// between closest ranks. p outside [0,100] is clamped to the nearest
+// bound; an empty histogram (or a NaN p) reports NaN.
 func (h *Histogram) Percentile(p float64) float64 {
 	h.ensureSorted()
 	n := len(h.samples)
-	if n == 0 {
-		return 0
+	if n == 0 || math.IsNaN(p) {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return h.samples[0]
@@ -148,14 +155,47 @@ func (h *Histogram) Stddev() float64 {
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
-	h.sorted = true
+	h.nsorted = 0
 }
 
+// ensureSorted brings the whole sample slice into sorted order by sorting
+// the unsorted tail and merging it into the already-sorted prefix.
 func (h *Histogram) ensureSorted() {
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+	n := len(h.samples)
+	if h.nsorted >= n {
+		return
 	}
+	tail := h.samples[h.nsorted:]
+	sort.Float64s(tail)
+	// Skip the merge when the tail already extends the prefix.
+	if h.nsorted > 0 && tail[0] < h.samples[h.nsorted-1] {
+		h.mergeTail()
+	}
+	h.nsorted = n
+}
+
+// mergeTail merges samples[:nsorted] and samples[nsorted:] (both sorted)
+// through a reused scratch buffer.
+func (h *Histogram) mergeTail() {
+	a := h.samples[:h.nsorted]
+	b := h.samples[h.nsorted:]
+	if cap(h.scratch) < len(h.samples) {
+		h.scratch = make([]float64, len(h.samples))
+	}
+	out := h.scratch[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	copy(h.samples, out)
 }
 
 // Series is an append-only (x, y) trace used to reproduce the paper's
@@ -202,24 +242,26 @@ func (s *Series) MaxY() float64 {
 }
 
 // TailMeanY reports the mean of the last frac (0,1] of the points, used to
-// summarize "after convergence" behavior.
+// summarize "after convergence" behavior. The tail length truncates toward
+// zero but always holds at least one sample, so small n/frac combinations
+// (n=3, frac=0.1) average the final point instead of dividing by zero.
 func (s *Series) TailMeanY(frac float64) float64 {
 	n := len(s.Y)
 	if n == 0 {
 		return 0
 	}
-	start := n - int(float64(n)*frac)
-	if start < 0 {
-		start = 0
+	tail := int(float64(n) * frac)
+	if tail < 1 {
+		tail = 1
 	}
-	if start >= n {
-		start = n - 1
+	if tail > n {
+		tail = n
 	}
 	var sum float64
-	for _, y := range s.Y[start:] {
+	for _, y := range s.Y[n-tail:] {
 		sum += y
 	}
-	return sum / float64(n-start)
+	return sum / float64(tail)
 }
 
 // Imbalance reports (max-min)/mean for a set of values; 0 for empty input

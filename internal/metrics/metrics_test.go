@@ -49,8 +49,29 @@ func TestEWMABadAlphaPanics(t *testing.T) {
 
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
-	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
-		t.Fatal("empty histogram should report zeros")
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zero mean/min/max")
+	}
+	// An empty histogram has no percentile; 0 would be a fabricated sample.
+	if got := h.Percentile(50); !math.IsNaN(got) {
+		t.Fatalf("empty Percentile(50) = %v, want NaN", got)
+	}
+}
+
+func TestHistogramPercentileClamped(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	// Out-of-range p clamps to the extremes instead of indexing out of range.
+	if got := h.Percentile(150); got != 10 {
+		t.Fatalf("p150 = %v, want 10", got)
+	}
+	if got := h.Percentile(-20); got != 1 {
+		t.Fatalf("p-20 = %v, want 1", got)
+	}
+	if got := h.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile(NaN) = %v, want NaN", got)
 	}
 }
 
@@ -117,6 +138,79 @@ func TestSeriesEmpty(t *testing.T) {
 	var s Series
 	if s.MeanY() != 0 || s.MaxY() != 0 || s.TailMeanY(0.5) != 0 {
 		t.Fatal("empty series should report zeros")
+	}
+}
+
+// Regression: a truncated-to-zero tail length (n=3, frac=0.1) must average
+// the final sample, never divide by an empty tail.
+func TestTailMeanYMinimumOneSample(t *testing.T) {
+	cases := []struct {
+		n    int
+		frac float64
+		want float64 // Y values are 0..n-1
+	}{
+		{n: 3, frac: 0.1, want: 2},            // int(0.3)=0 -> floor to 1 sample
+		{n: 1, frac: 0.99, want: 0},           // int(0.99)=0 -> 1 sample
+		{n: 10, frac: 0.2, want: 8.5},         // exact: last 2 of 0..9
+		{n: 10, frac: 0.25, want: 8.5},        // truncates to 2 samples
+		{n: 4, frac: 1.0, want: 1.5},          // whole series
+		{n: 4, frac: 2.5, want: 1.5},          // frac > 1 clamps to whole series
+		{n: 5, frac: 0, want: 4},              // zero frac -> last sample
+		{n: 5, frac: -0.5, want: 4},           // negative frac -> last sample
+		{n: 5, frac: math.NaN(), want: 4},     // NaN frac -> last sample, not NaN
+		{n: 2, frac: 0.5, want: 1},            // exact single sample
+		{n: 100, frac: 0.001, want: 99},       // tiny frac on large n
+	}
+	for _, c := range cases {
+		var s Series
+		for i := 0; i < c.n; i++ {
+			s.Add(float64(i), float64(i))
+		}
+		got := s.TailMeanY(c.frac)
+		if math.IsNaN(got) || math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TailMeanY(n=%d, frac=%v) = %v, want %v", c.n, c.frac, got, c.want)
+		}
+	}
+}
+
+// Property: interleaved Observe/query bursts produce the same percentiles
+// as a single sort at the end — the incremental tail-merge must be
+// equivalent to a full re-sort.
+func TestPropertyIncrementalSortEquivalent(t *testing.T) {
+	f := func(raw []float64, splitRaw uint8) bool {
+		vals := raw[:0:0]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			vals = append(vals, x)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		split := int(splitRaw) % (len(vals) + 1)
+		for _, x := range vals[:split] {
+			h.Observe(x)
+		}
+		_ = h.Percentile(50) // force a sort of the first burst
+		_ = h.Min()
+		for _, x := range vals[split:] {
+			h.Observe(x)
+		}
+		var ref Histogram
+		for _, x := range vals {
+			ref.Observe(x)
+		}
+		for p := 0.0; p <= 100; p += 7 {
+			if h.Percentile(p) != ref.Percentile(p) {
+				return false
+			}
+		}
+		return h.Min() == ref.Min() && h.Max() == ref.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refKernel reimplements the pre-overhaul event queue — a container/heap of
+// boxed *refEvent — with identical (at, seq) semantics. The differential
+// tests drive it and the 4-ary value heap with the same schedule and demand
+// identical fire orders; the alloc test pins the boxed implementation's
+// per-event allocation as the ceiling the new queue must beat.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type refKernel struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+func (k *refKernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := k.now + Time(d)
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &refEvent{at: t, seq: k.seq, fn: fn})
+}
+
+func (k *refKernel) RunUntilIdle() {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*refEvent)
+		k.now = e.at
+		e.fn()
+	}
+}
+
+// scheduler abstracts the two kernels so one driver exercises both.
+type scheduler interface {
+	After(d Duration, fn func())
+	RunUntilIdle()
+}
+
+// driveSchedule runs a deterministic workload on s: an initial burst of
+// events whose callbacks recursively schedule children according to the
+// precomputed plan. It returns the order in which event ids fired.
+type schedulePlan struct {
+	initial []Duration   // delays of root events
+	childOf [][]Duration // childOf[id]: delays of events scheduled when id fires
+}
+
+func driveSchedule(s scheduler, plan schedulePlan) []int {
+	var order []int
+	next := len(plan.initial)
+	var fire func(id int) func()
+	fire = func(id int) func() {
+		return func() {
+			order = append(order, id)
+			if id < len(plan.childOf) {
+				for _, d := range plan.childOf[id] {
+					child := next
+					next++
+					s.After(d, fire(child))
+				}
+			}
+		}
+	}
+	for id, d := range plan.initial {
+		s.After(d, fire(id))
+	}
+	s.RunUntilIdle()
+	return order
+}
+
+// makePlan builds a randomized schedule with heavy same-instant collisions
+// (small delay range) and nested scheduling, all decided up front so both
+// kernels see the identical workload.
+func makePlan(rng *rand.Rand, roots int) schedulePlan {
+	p := schedulePlan{initial: make([]Duration, roots)}
+	for i := range p.initial {
+		// Delay range of 17µs over hundreds of events forces many (at)
+		// ties, so the seq tiebreak is what the test really pins down.
+		p.initial[i] = Duration(rng.Int63n(17))
+	}
+	total := roots * 3
+	p.childOf = make([][]Duration, total)
+	for i := 0; i < total; i++ {
+		if rng.Intn(3) == 0 {
+			kids := make([]Duration, rng.Intn(3))
+			for j := range kids {
+				kids[j] = Duration(rng.Int63n(11))
+			}
+			p.childOf[i] = kids
+		}
+	}
+	return p
+}
+
+// TestDifferentialFireOrder checks the 4-ary indexed value heap fires
+// events in exactly the (at, seq) order of the old container/heap kernel,
+// across many seeded random schedules.
+func TestDifferentialFireOrder(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		plan := makePlan(rng, 150+rng.Intn(350))
+		got := driveSchedule(New(1), plan)
+		want := driveSchedule(&refKernel{}, plan)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: fire order diverges at event %d: got id %d, reference id %d",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialWithTimers mixes Timer traffic (Reset/Stop churn) into a
+// plain event stream and checks the plain events still fire in reference
+// order — the indexed-slot bookkeeping must not perturb heap ordering.
+func TestDifferentialWithTimers(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		plan := makePlan(rng, 200)
+		want := driveSchedule(&refKernel{}, plan)
+
+		k := New(1)
+		// Interleave timers that fire between/among the plan's events but
+		// record nothing; half get stopped, some get reset.
+		var timers []*Timer
+		for i := 0; i < 50; i++ {
+			timers = append(timers, k.AfterFunc(Duration(rng.Int63n(17)), func() {}))
+		}
+		for i, tm := range timers {
+			switch i % 3 {
+			case 0:
+				tm.Stop()
+			case 1:
+				tm.Reset(Duration(rng.Int63n(17)))
+			}
+		}
+		got := driveSchedule(k, plan)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d plan events, reference fired %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: fire order diverges at %d: got %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHeapAllocsReduced asserts the value heap schedules and fires events
+// with no more allocations than the boxed reference — and in absolute terms
+// near zero amortized allocs per event (slice growth only).
+func TestHeapAllocsReduced(t *testing.T) {
+	const events = 2000
+	fn := func() {}
+
+	k := New(1)
+	newAllocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < events; i++ {
+			k.After(Duration(i%97), fn)
+		}
+		k.RunUntilIdle()
+	})
+
+	rk := &refKernel{}
+	refAllocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < events; i++ {
+			rk.After(Duration(i%97), fn)
+		}
+		rk.RunUntilIdle()
+	})
+
+	if newAllocs > refAllocs {
+		t.Fatalf("value heap allocates more than boxed reference: %.1f > %.1f allocs per %d events",
+			newAllocs, refAllocs, events)
+	}
+	// The boxed kernel allocated ~1 event box per event; the value heap
+	// must be at least 10x better amortized.
+	if newAllocs > events/10 {
+		t.Fatalf("value heap allocs = %.1f per %d events; want near zero", newAllocs, events)
+	}
+}
+
+// BenchmarkKernelSchedule measures raw schedule+fire throughput: the
+// headline number behind BENCH_*.json's events_per_sec.
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	fn := func() {}
+	k := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Duration(i%977), fn)
+		if i%1024 == 1023 {
+			k.RunUntilIdle()
+		}
+	}
+	k.RunUntilIdle()
+}
+
+// BenchmarkKernelScheduleBoxedRef is the same workload on the pre-overhaul
+// boxed container/heap queue, kept for comparison.
+func BenchmarkKernelScheduleBoxedRef(b *testing.B) {
+	b.ReportAllocs()
+	fn := func() {}
+	k := &refKernel{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Duration(i%977), fn)
+		if i%1024 == 1023 {
+			k.RunUntilIdle()
+		}
+	}
+	k.RunUntilIdle()
+}
+
+// BenchmarkEveryTick measures periodic-timer ticks (the cluster/EMR tick
+// loop shape): each tick must be a single in-place heap push.
+func BenchmarkEveryTick(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	n := 0
+	k.Every(Millisecond, func() bool {
+		n++
+		return n < b.N
+	})
+	k.RunUntilIdle()
+}

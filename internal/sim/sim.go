@@ -4,10 +4,14 @@
 // time and a monotonically increasing sequence number, so two events
 // scheduled for the same instant fire in scheduling order, which makes every
 // run reproducible bit-for-bit from a single seed.
+//
+// The event queue is a value-typed 4-ary indexed heap (see queue.go):
+// scheduling an event is an inline slice append, not a boxed allocation,
+// and periodic work can hold a reusable Timer (AfterFunc/Reset) so tick
+// loops run allocation-free.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	//lint:ignore DET002 the kernel owns the seeded RNG every component draws from
@@ -51,42 +55,19 @@ func (d Duration) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now Time
+	seq uint64
+	q   eventQueue
+	rng *rand.Rand
 
 	// Stopped is set by Stop; Run returns once it is observed.
 	stopped bool
+
+	fired uint64 // events fired since creation
+	peak  int    // maximum queue depth observed
 }
 
 // New returns a kernel whose random stream is derived from seed.
@@ -114,45 +95,161 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.q.push(event{at: t, seq: k.seq, tid: noTimer, fn: fn})
+	if n := k.q.len(); n > k.peak {
+		k.peak = n
+	}
+}
+
+// Timer is a reusable scheduled callback created by AfterFunc. Unlike a
+// plain After event, a Timer occupies one slot in the kernel for its whole
+// life: Reset re-queues the same slot (fresh seq, so same-instant ordering
+// still follows scheduling order) and Stop cancels it. A timer that fires
+// without being re-armed by Reset — from inside its own callback — releases
+// its slot automatically; after that, Stop and Reset on the stale handle
+// are no-ops returning false.
+type Timer struct {
+	k   *Kernel
+	id  int32
+	gen uint32
+}
+
+// AfterFunc schedules fn to run d from now and returns a Timer that can
+// reschedule (Reset) or cancel (Stop) it. Tick loops that re-arm the timer
+// from inside fn schedule each subsequent fire without any allocation,
+// which is how Every and the cluster/EMR tick loops run.
+func (k *Kernel) AfterFunc(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	id := k.q.allocSlot(fn)
+	t := &Timer{k: k, id: id, gen: k.q.slots[id].gen}
+	k.scheduleTimer(id, k.now+Time(d))
+	return t
+}
+
+func (k *Kernel) scheduleTimer(id int32, at Time) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	k.q.push(event{at: at, seq: k.seq, tid: id})
+	if n := k.q.len(); n > k.peak {
+		k.peak = n
+	}
+}
+
+func (t *Timer) live() bool {
+	return t != nil && t.k != nil && t.k.q.slots[t.id].gen == t.gen
+}
+
+// Stop cancels the timer and releases its slot. It reports whether a
+// pending fire was dequeued; false means the timer already fired (and was
+// not re-armed) or was already stopped.
+func (t *Timer) Stop() bool {
+	if !t.live() {
+		return false
+	}
+	s := &t.k.q.slots[t.id]
+	pending := s.pos != noTimer
+	if pending {
+		t.k.q.remove(int(s.pos))
+	}
+	t.k.q.freeSlot(t.id)
+	return pending
+}
+
+// Reset reschedules the timer to fire d from now (negative d fires
+// immediately). While the timer is pending its queued event is moved in
+// place; from inside the callback it re-arms the slot for another fire.
+// Reset reports false on a released timer (already fired without re-arm,
+// or stopped).
+func (t *Timer) Reset(d Duration) bool {
+	if !t.live() {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	k := t.k
+	s := &k.q.slots[t.id]
+	at := k.now + Time(d)
+	if s.pos != noTimer {
+		i := int(s.pos)
+		k.seq++
+		k.q.heap[i].at = at
+		k.q.heap[i].seq = k.seq
+		k.q.fix(i)
+		return true
+	}
+	k.scheduleTimer(t.id, at)
+	return true
 }
 
 // Every schedules fn at now+d, then every d thereafter, until fn returns
-// false or the simulation stops.
+// false or the simulation stops. The loop holds a single reusable timer
+// slot, so each tick costs one heap push and no allocation.
+//
+// A non-positive period is floored to one Microsecond: period 0 used to
+// reschedule at the same instant forever, livelocking RunUntilIdle.
 func (k *Kernel) Every(d Duration, fn func() bool) {
-	var tick func()
-	tick = func() {
-		if !fn() {
-			return
-		}
-		k.After(d, tick)
+	if d < Microsecond {
+		d = Microsecond
 	}
-	k.After(d, tick)
+	var t *Timer
+	t = k.AfterFunc(d, func() {
+		if fn() {
+			t.Reset(d)
+		}
+	})
 }
 
 // Step fires the next pending event, advancing the clock. It reports whether
 // an event was fired.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 || k.stopped {
+	if k.q.len() == 0 || k.stopped {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
+	e := k.q.pop()
 	k.now = e.at
-	e.fn()
+	k.fired++
+	if e.tid != noTimer {
+		k.fireTimer(e.tid)
+	} else {
+		e.fn()
+	}
 	return true
 }
 
+// fireTimer runs a timer slot's callback and recycles the slot unless the
+// callback re-armed it with Reset (or released it itself with Stop).
+func (k *Kernel) fireTimer(id int32) {
+	gen := k.q.slots[id].gen
+	fn := k.q.slots[id].fn
+	fn()
+	// Re-index: fn may have created timers and grown the slot table.
+	s := &k.q.slots[id]
+	if s.gen != gen {
+		return // the callback stopped its own timer; slot already released
+	}
+	if s.pos == noTimer {
+		k.q.freeSlot(id)
+	}
+}
+
 // Run fires events until the queue drains, the clock passes until, or Stop
-// is called. The clock does not advance beyond the last fired event.
+// is called. The clock does not advance beyond the last fired event; in
+// particular a run halted by Stop leaves the clock at the event that
+// stopped it rather than jumping ahead to the deadline.
 func (k *Kernel) Run(until Time) {
-	for len(k.events) > 0 && !k.stopped {
-		if k.events[0].at > until {
+	for k.q.len() > 0 && !k.stopped {
+		if k.q.heap[0].at > until {
 			k.now = until
 			return
 		}
 		k.Step()
 	}
-	if k.now < until {
+	if !k.stopped && k.now < until {
 		k.now = until
 	}
 }
@@ -170,4 +267,14 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.q.len() }
+
+// Stats summarizes the kernel's lifetime effort, used by the benchmark
+// harness to report event throughput and queue pressure per experiment.
+type Stats struct {
+	Fired     uint64 // events fired since creation
+	PeakQueue int    // maximum queue depth ever observed
+}
+
+// Stats returns the kernel's counters.
+func (k *Kernel) Stats() Stats { return Stats{Fired: k.fired, PeakQueue: k.peak} }

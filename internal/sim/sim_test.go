@@ -117,6 +117,155 @@ func TestStopHaltsRun(t *testing.T) {
 	if !k.Stopped() {
 		t.Fatal("Stopped() = false after Stop")
 	}
+	// A stopped run halts after the current event: the clock must stay at
+	// the last fired event, not jump ahead to the deadline.
+	if k.Now() != Time(2*Second) {
+		t.Fatalf("clock after Stop = %d, want %d (last fired event)", k.Now(), 2*Second)
+	}
+}
+
+func TestStopBeforeRunLeavesClock(t *testing.T) {
+	k := New(1)
+	k.After(Second, func() {})
+	k.Stop()
+	k.Run(Time(10 * Second))
+	if k.Now() != 0 {
+		t.Fatalf("clock = %d, want 0: no event fired before Stop", k.Now())
+	}
+}
+
+// Regression: a non-positive period used to reschedule at the same instant
+// forever, so RunUntilIdle never returned. The period is floored to 1µs.
+func TestEveryNonPositivePeriodTerminates(t *testing.T) {
+	for _, d := range []Duration{0, -5} {
+		k := New(1)
+		count := 0
+		k.Every(d, func() bool {
+			count++
+			return count < 4
+		})
+		k.RunUntilIdle() // must terminate
+		if count != 4 {
+			t.Fatalf("Every(%d): ticks = %d, want 4", d, count)
+		}
+		if k.Now() != Time(4*Microsecond) {
+			t.Fatalf("Every(%d): clock = %d, want 4µs (floored period)", d, k.Now())
+		}
+	}
+}
+
+func TestAfterFuncFiresOnce(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.AfterFunc(Second, func() { fired++ })
+	k.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestTimerStopCancels(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := k.AfterFunc(Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on a pending timer")
+	}
+	k.RunUntilIdle()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	if tm.Reset(Second) {
+		t.Fatal("Reset on a stopped timer = true")
+	}
+}
+
+func TestTimerResetPostpones(t *testing.T) {
+	k := New(1)
+	var at Time
+	tm := k.AfterFunc(Second, func() { at = k.Now() })
+	tm.Reset(3 * Second)
+	k.RunUntilIdle()
+	if at != Time(3*Second) {
+		t.Fatalf("fired at %d, want 3s", at)
+	}
+	// The timer released its slot after firing un-re-armed.
+	if tm.Reset(Second) {
+		t.Fatal("Reset after unre-armed fire = true")
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	k := New(1)
+	var times []Time
+	var tm *Timer
+	tm = k.AfterFunc(Second, func() {
+		times = append(times, k.Now())
+		if len(times) < 3 {
+			tm.Reset(Second)
+		}
+	})
+	k.RunUntilIdle()
+	want := []Time{Time(Second), Time(2 * Second), Time(3 * Second)}
+	if len(times) != len(want) {
+		t.Fatalf("fires = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTimerStopFromOwnCallback(t *testing.T) {
+	k := New(1)
+	var tm *Timer
+	ran := false
+	tm = k.AfterFunc(Second, func() {
+		ran = true
+		tm.Stop() // releasing the slot from inside the callback must be safe
+	})
+	k.RunUntilIdle()
+	if !ran {
+		t.Fatal("callback did not run")
+	}
+	if tm.Reset(Second) {
+		t.Fatal("Reset after self-Stop = true")
+	}
+}
+
+// Timer slots are recycled: a long run of one-shot timers must not grow the
+// slot table beyond the number simultaneously live.
+func TestTimerSlotRecycling(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 1000; i++ {
+		k.AfterFunc(Duration(i), func() {})
+	}
+	k.RunUntilIdle()
+	for i := 0; i < 1000; i++ {
+		k.AfterFunc(Duration(i), func() {})
+		k.RunUntilIdle()
+	}
+	if n := len(k.q.slots); n > 1001 {
+		t.Fatalf("slot table grew to %d; recycling is broken", n)
+	}
+}
+
+func TestKernelStats(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 10; i++ {
+		k.After(Duration(i), func() {})
+	}
+	if st := k.Stats(); st.PeakQueue != 10 || st.Fired != 0 {
+		t.Fatalf("pre-run stats = %+v, want peak 10, fired 0", st)
+	}
+	k.RunUntilIdle()
+	if st := k.Stats(); st.Fired != 10 || st.PeakQueue != 10 {
+		t.Fatalf("post-run stats = %+v, want fired 10, peak 10", st)
+	}
 }
 
 func TestNestedScheduling(t *testing.T) {
