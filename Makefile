@@ -10,7 +10,17 @@ GO ?= go
 BENCH_BASELINE ?= BENCH_2026-08-05.json
 BENCH_TOLERANCE ?= 0.60
 
-.PHONY: build test vet race bench bench-quick bench-baseline lint verify
+# Coverage gate: `make cover` fails when total statement coverage drops
+# below the floor. Measured 84.4% when the floor was set; the slack keeps
+# honest refactors from fighting the gate while still catching a PR that
+# lands a subsystem with no tests.
+COVER_FLOOR ?= 80.0
+COVER_PROFILE ?= coverage.out
+
+# Scratch dir for the trace round-trip smoke test.
+TRACE_SMOKE_DIR ?= .trace-smoke
+
+.PHONY: build test vet race bench bench-quick bench-baseline lint cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -44,8 +54,31 @@ bench-baseline:
 lint:
 	$(GO) run ./cmd/plasma-lint -Werror ./internal/... ./cmd/...
 
+# cover measures total statement coverage and fails below COVER_FLOOR.
+# CI uploads $(COVER_PROFILE) as an artifact for inspection.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# trace-smoke round-trips the decision tracer end to end: a quick traced
+# experiment run twice at the same seed must produce byte-identical JSONL,
+# summarize and diff must accept it, and the Chrome export must render.
+trace-smoke:
+	@rm -rf $(TRACE_SMOKE_DIR) && mkdir -p $(TRACE_SMOKE_DIR)
+	$(GO) run ./cmd/plasma-sim -trace $(TRACE_SMOKE_DIR)/a.jsonl fig5 > /dev/null
+	$(GO) run ./cmd/plasma-sim -trace $(TRACE_SMOKE_DIR)/b.jsonl fig5 > /dev/null
+	cmp $(TRACE_SMOKE_DIR)/a.jsonl $(TRACE_SMOKE_DIR)/b.jsonl
+	$(GO) run ./cmd/plasma-trace summarize $(TRACE_SMOKE_DIR)/a.jsonl | grep -q '^records:'
+	$(GO) run ./cmd/plasma-trace diff $(TRACE_SMOKE_DIR)/a.jsonl $(TRACE_SMOKE_DIR)/b.jsonl > /dev/null
+	$(GO) run ./cmd/plasma-trace chrome $(TRACE_SMOKE_DIR)/a.jsonl > $(TRACE_SMOKE_DIR)/a.trace.json
+	@rm -rf $(TRACE_SMOKE_DIR)
+	@echo "trace-smoke OK: same-seed traces byte-identical, tooling round-trips"
+
 # verify is the pre-merge gate: everything compiles, vet is clean, the full
-# suite passes under the race detector, the determinism lint is clean, and
-# the quick-scale sweep shows no perf regression or determinism drift
-# against the checked-in bench baseline.
-verify: build vet race lint bench-quick
+# suite passes under the race detector, the determinism lint is clean, the
+# quick-scale sweep shows no perf regression or determinism drift against
+# the checked-in bench baseline, and the decision tracer round-trips.
+verify: build vet race lint bench-quick trace-smoke

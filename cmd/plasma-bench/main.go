@@ -314,7 +314,9 @@ func compareBench(old, fresh BenchFile, tolerance float64) (regressions, notes [
 	for _, o := range old.Experiments {
 		n, ok := freshByID[o.ID]
 		if !ok {
-			notes = append(notes, fmt.Sprintf("%s: present in baseline but not measured", o.ID))
+			// A baseline id the sweep no longer measures is silent coverage
+			// loss — the gate would pass while checking less. Fail it.
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but not measured (experiment removed or renamed?)", o.ID))
 			continue
 		}
 		if o.NsPerOp > 0 && float64(n.NsPerOp) > float64(o.NsPerOp)*(1+tolerance) {

@@ -109,14 +109,18 @@ func TestCompareModeMismatchSkips(t *testing.T) {
 	}
 }
 
-func TestCompareMissingAndNewExperimentsNoted(t *testing.T) {
+func TestCompareMissingBaselineIDFails(t *testing.T) {
 	old := baselineFile()
 	fresh := baselineFile()
 	fresh.Experiments[0].ID = "fig99"
-	_, notes := compareBench(old, fresh, 0.10)
-	joined := strings.Join(notes, "\n")
-	if !strings.Contains(joined, "fig5") || !strings.Contains(joined, "fig99") {
-		t.Fatalf("want notes for both the missing and the new id, got %v", notes)
+	regs, notes := compareBench(old, fresh, 0.10)
+	// A baseline id the run no longer measures is a regression (silent
+	// coverage loss), while a brand-new id is only worth a note.
+	if joined := strings.Join(regs, "\n"); !strings.Contains(joined, "fig5") || !strings.Contains(joined, "not measured") {
+		t.Fatalf("missing baseline id must be a regression, got %v", regs)
+	}
+	if joined := strings.Join(notes, "\n"); !strings.Contains(joined, "fig99") {
+		t.Fatalf("want a note for the new id, got %v", notes)
 	}
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"plasma/internal/trace"
+)
+
+// Diff compares two traces record by record and reports the first
+// divergence. Traces from the same seed are byte-identical, so the first
+// differing record IS the first divergent decision — everything after it is
+// cascade. The ID field is ignored when one trace has extra records earlier
+// (it still participates in the direct comparison, which is what same-seed
+// runs want: any drift, including emission-order drift, must surface).
+func Diff(nameA string, a []trace.Record, nameB string, b []trace.Record) (report string, same bool) {
+	var sb strings.Builder
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			fmt.Fprintf(&sb, "traces diverge at record %d (the first divergent decision):\n", i+1)
+			fmt.Fprintf(&sb, "  %s: %s\n", nameA, formatRecord(a[i]))
+			fmt.Fprintf(&sb, "  %s: %s\n", nameB, formatRecord(b[i]))
+			context := i - 3
+			if context < 0 {
+				context = 0
+			}
+			if context < i {
+				sb.WriteString("shared context before the divergence:\n")
+				for j := context; j < i; j++ {
+					fmt.Fprintf(&sb, "  %s\n", formatRecord(a[j]))
+				}
+			}
+			return sb.String(), false
+		}
+	}
+	if len(a) != len(b) {
+		longerName, longer := nameB, b
+		if len(a) > len(b) {
+			longerName, longer = nameA, a
+		}
+		fmt.Fprintf(&sb, "traces agree on the first %d records, then %s has %d extra; first extra:\n",
+			n, longerName, len(longer)-n)
+		fmt.Fprintf(&sb, "  %s\n", formatRecord(longer[n]))
+		return sb.String(), false
+	}
+	fmt.Fprintf(&sb, "traces identical: %d records\n", n)
+	return sb.String(), true
+}
+
+// formatRecord renders one record for human diff output.
+func formatRecord(r trace.Record) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%d %s id=%d", int64(r.At), r.Kind, r.ID)
+	if r.Parent != 0 {
+		fmt.Fprintf(&sb, " par=%d", r.Parent)
+	}
+	if r.Tick != 0 {
+		fmt.Fprintf(&sb, " tick=%d", r.Tick)
+	}
+	if r.Server >= 0 {
+		fmt.Fprintf(&sb, " srv=%d", r.Server)
+	}
+	if r.Target >= 0 {
+		fmt.Fprintf(&sb, " trg=%d", r.Target)
+	}
+	if r.Actor != 0 {
+		fmt.Fprintf(&sb, " actor=%d", r.Actor)
+	}
+	if r.Rule >= 0 {
+		fmt.Fprintf(&sb, " rule=%d", r.Rule)
+	}
+	if r.Value != 0 {
+		fmt.Fprintf(&sb, " val=%g", r.Value)
+	}
+	if r.Detail != "" {
+		fmt.Fprintf(&sb, " %q", r.Detail)
+	}
+	return sb.String()
+}

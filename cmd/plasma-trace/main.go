@@ -1,0 +1,209 @@
+// Command plasma-trace inspects PLASMA elasticity decision traces (the
+// JSONL files written by plasma-sim -trace and the experiment harness).
+//
+// Usage:
+//
+//	plasma-trace summarize [-actor N] [-server N] [-rule N] [-from T] [-to T] trace.jsonl
+//	plasma-trace filter    [-actor N] [-server N] [-rule N] [-from T] [-to T] [-kind K] trace.jsonl
+//	plasma-trace chrome    trace.jsonl > trace.json     # load in Perfetto / chrome://tracing
+//	plasma-trace diff      a.jsonl b.jsonl              # first divergent decision
+//
+// summarize prints decision churn: rule fire counts, migrations per actor,
+// deny reasons, and per-kind record counts. filter re-emits matching
+// records as JSONL. diff compares two traces record by record and reports
+// the first divergence — at a fixed seed two runs are byte-identical, so
+// any difference localizes determinism drift to one decision.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plasma/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summarize":
+		err = cmdSummarize(args)
+	case "filter":
+		err = cmdFilter(args)
+	case "chrome":
+		err = cmdChrome(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "plasma-trace: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasma-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  plasma-trace summarize [-actor N] [-server N] [-rule N] [-from T] [-to T] trace.jsonl
+  plasma-trace filter    [-actor N] [-server N] [-rule N] [-from T] [-to T] [-kind K] trace.jsonl
+  plasma-trace chrome    trace.jsonl
+  plasma-trace diff      a.jsonl b.jsonl`)
+}
+
+// filterFlags are the record selectors shared by summarize and filter.
+type filterFlags struct {
+	actor  *int64
+	server *int
+	rule   *int
+	from   *int64
+	to     *int64
+	kind   *string
+}
+
+func addFilterFlags(fs *flag.FlagSet, withKind bool) *filterFlags {
+	f := &filterFlags{
+		actor:  fs.Int64("actor", -1, "only records about this actor id"),
+		server: fs.Int("server", -1, "only records touching this server (source or target)"),
+		rule:   fs.Int("rule", -1, "only records for this policy rule index"),
+		from:   fs.Int64("from", -1, "only records at or after this virtual time (µs)"),
+		to:     fs.Int64("to", -1, "only records at or before this virtual time (µs)"),
+	}
+	kind := ""
+	if withKind {
+		f.kind = fs.String("kind", "", "only records of this kind (e.g. deny, transfer)")
+	} else {
+		f.kind = &kind
+	}
+	return f
+}
+
+func (f *filterFlags) apply(recs []trace.Record) ([]trace.Record, error) {
+	wantKind := trace.Kind(0)
+	haveKind := false
+	if *f.kind != "" {
+		k, ok := trace.KindFromString(*f.kind)
+		if !ok {
+			return nil, fmt.Errorf("unknown kind %q", *f.kind)
+		}
+		wantKind, haveKind = k, true
+	}
+	var out []trace.Record
+	for _, r := range recs {
+		if *f.actor >= 0 && r.Actor != uint64(*f.actor) {
+			continue
+		}
+		if *f.server >= 0 && int(r.Server) != *f.server && int(r.Target) != *f.server {
+			continue
+		}
+		if *f.rule >= 0 && int(r.Rule) != *f.rule {
+			continue
+		}
+		if *f.from >= 0 && int64(r.At) < *f.from {
+			continue
+		}
+		if *f.to >= 0 && int64(r.At) > *f.to {
+			continue
+		}
+		if haveKind && r.Kind != wantKind {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func readTrace(path string) ([]trace.Record, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	recs, err := trace.ReadJSONL(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func cmdFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+	f := addFilterFlags(fs, true)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("filter wants exactly one trace file")
+	}
+	recs, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	recs, err = f.apply(recs)
+	if err != nil {
+		return err
+	}
+	return trace.WriteJSONL(os.Stdout, recs)
+}
+
+func cmdChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("chrome wants exactly one trace file")
+	}
+	recs, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return trace.WriteChromeTrace(os.Stdout, recs)
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	f := addFilterFlags(fs, false)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summarize wants exactly one trace file")
+	}
+	recs, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	recs, err = f.apply(recs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(Summarize(recs))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two trace files")
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	report, same := Diff(fs.Arg(0), a, fs.Arg(1), b)
+	fmt.Print(report)
+	if !same {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"plasma/internal/cluster"
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // ID uniquely identifies an actor within a Runtime. The zero ID is invalid.
@@ -102,6 +103,7 @@ type instance struct {
 
 	pendingDst cluster.MachineID // -1 when no migration requested
 	pendingFn  func(ok bool)
+	pendingTr  uint64 // trace parent for the pending migration
 	dead       bool
 
 	// migEpoch invalidates in-flight migration steps when the actor is
@@ -135,15 +137,18 @@ type Runtime struct {
 	// them back; failedMigs counts migrations that did not complete.
 	inflight   map[ID]*migration
 	failedMigs int
+
+	tr *trace.Tracer // nil = migration lifecycle untraced
 }
 
 // migration is one in-flight live migration.
 type migration struct {
-	inst   *instance
-	src    cluster.MachineID
-	dst    cluster.MachineID
-	epoch  uint64
-	onDone func(ok bool)
+	inst    *instance
+	src     cluster.MachineID
+	dst     cluster.MachineID
+	epoch   uint64
+	onDone  func(ok bool)
+	traceID uint64 // id of the KindTransfer record, parent of commit/rollback
 }
 
 // NewRuntime creates a runtime over the given cluster.
@@ -166,6 +171,10 @@ func (rt *Runtime) SetProfiler(p ProfilerHook) { rt.profiler = p }
 
 // SetPlacement attaches (or detaches, with nil) the placement hook.
 func (rt *Runtime) SetPlacement(p PlacementHook) { rt.placement = p }
+
+// SetTracer installs (or removes, with nil) the decision tracer; the
+// migration lifecycle (transfer, commit, rollback) is recorded through it.
+func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tr = t }
 
 // Migrations reports the total number of completed migrations.
 func (rt *Runtime) Migrations() int { return rt.migrations }
@@ -199,9 +208,9 @@ func (rt *Runtime) onMachineFail(id cluster.MachineID) {
 		mig := rt.inflight[aid]
 		switch id {
 		case mig.dst:
-			rt.abortMigration(mig, true)
+			rt.abortMigration(mig, true, "dst-crash")
 		case mig.src:
-			rt.abortMigration(mig, false)
+			rt.abortMigration(mig, false, "src-crash")
 		}
 	}
 	// Queued (not yet begun) migrations toward the dead machine fail fast so
@@ -223,7 +232,7 @@ func (rt *Runtime) onMachineFail(id cluster.MachineID) {
 // resume, the actor stays live on its source and message processing restarts
 // there (destination failure); without, the actor stays frozen on its dead
 // source until RecoverMachine re-homes it (source failure).
-func (rt *Runtime) abortMigration(mig *migration, resume bool) {
+func (rt *Runtime) abortMigration(mig *migration, resume bool, reason string) {
 	inst := mig.inst
 	if rt.inflight[inst.id] != mig {
 		return
@@ -232,6 +241,8 @@ func (rt *Runtime) abortMigration(mig *migration, resume bool) {
 	inst.migEpoch++ // invalidate the migration's still-scheduled steps
 	inst.migrating = false
 	rt.failedMigs++
+	rt.tr.Emit(trace.Record{Kind: trace.KindRollback, Parent: mig.traceID,
+		Server: int32(mig.src), Target: int32(mig.dst), Actor: uint64(inst.id), Rule: -1, Detail: reason})
 	if mig.onDone != nil {
 		mig.onDone(false)
 	}
@@ -300,6 +311,8 @@ func (rt *Runtime) RecoverMachine(srv cluster.MachineID) int {
 			// too so recovery is safe even if invoked on its own.
 			delete(rt.inflight, inst.id)
 			rt.failedMigs++
+			rt.tr.Emit(trace.Record{Kind: trace.KindRollback, Parent: mig.traceID,
+				Server: int32(mig.src), Target: int32(mig.dst), Actor: uint64(inst.id), Rule: -1, Detail: "src-recovered"})
 			if mig.onDone != nil {
 				mig.onDone(false)
 			}
@@ -335,6 +348,8 @@ func (rt *Runtime) Stop(ref Ref) {
 		delete(rt.inflight, inst.id)
 		inst.migEpoch++
 		rt.failedMigs++
+		rt.tr.Emit(trace.Record{Kind: trace.KindRollback, Parent: mig.traceID,
+			Server: int32(mig.src), Target: int32(mig.dst), Actor: uint64(inst.id), Rule: -1, Detail: "actor-stopped"})
 		if mig.onDone != nil {
 			mig.onDone(false)
 		}
@@ -539,6 +554,13 @@ func (rt *Runtime) pump(inst *instance) {
 // the actor finishes its current message; onDone (optional) reports whether
 // the migration was carried out. Pinned and dead actors refuse.
 func (rt *Runtime) Migrate(ref Ref, dst cluster.MachineID, onDone func(ok bool)) {
+	rt.MigrateTraced(ref, dst, 0, onDone)
+}
+
+// MigrateTraced is Migrate with a causal trace parent: the migration's
+// KindTransfer record is parented to it (the EMR passes the admission
+// record's id, so a trace links propose → admit → transfer → commit).
+func (rt *Runtime) MigrateTraced(ref Ref, dst cluster.MachineID, parent uint64, onDone func(ok bool)) {
 	inst := rt.actors[ref.ID]
 	fail := func() {
 		if onDone != nil {
@@ -556,6 +578,7 @@ func (rt *Runtime) Migrate(ref Ref, dst cluster.MachineID, onDone func(ok bool))
 	}
 	inst.pendingDst = dst
 	inst.pendingFn = onDone
+	inst.pendingTr = parent
 	if !inst.busy {
 		rt.beginMigration(inst)
 	}
@@ -564,8 +587,10 @@ func (rt *Runtime) Migrate(ref Ref, dst cluster.MachineID, onDone func(ok bool))
 func (rt *Runtime) beginMigration(inst *instance) {
 	dst := inst.pendingDst
 	onDone := inst.pendingFn
+	parent := inst.pendingTr
 	inst.pendingDst = -1
 	inst.pendingFn = nil
+	inst.pendingTr = 0
 	dstM := rt.C.Machine(dst)
 	if dstM == nil || !dstM.Up() || inst.dead {
 		if onDone != nil {
@@ -579,6 +604,8 @@ func (rt *Runtime) beginMigration(inst *instance) {
 	mig := &migration{inst: inst, src: inst.srv, dst: dst, epoch: inst.migEpoch, onDone: onDone}
 	rt.inflight[inst.id] = mig
 	src := inst.srv
+	mig.traceID = rt.tr.Emit(trace.Record{Kind: trace.KindTransfer, Parent: parent,
+		Server: int32(src), Target: int32(dst), Actor: uint64(inst.id), Rule: -1, Value: float64(inst.memSize)})
 	stateMB := float64(inst.memSize) / (1 << 20)
 	serCost := sim.Duration(stateMB * float64(rt.SerializePerMB))
 
@@ -602,7 +629,7 @@ func (rt *Runtime) beginMigration(inst *instance) {
 			if !rt.C.Machine(dst).Up() {
 				// Destination lost mid-transfer (e.g. decommissioned; crashes
 				// are caught by the failure hook): roll back to the source.
-				rt.abortMigration(mig, true)
+				rt.abortMigration(mig, true, "dst-down")
 				return
 			}
 			rt.C.Machine(dst).Exec(serCost, func() {
@@ -610,7 +637,7 @@ func (rt *Runtime) beginMigration(inst *instance) {
 					return
 				}
 				if !rt.C.Machine(dst).Up() {
-					rt.abortMigration(mig, true)
+					rt.abortMigration(mig, true, "dst-down")
 					return
 				}
 				delete(rt.inflight, inst.id)
@@ -620,6 +647,8 @@ func (rt *Runtime) beginMigration(inst *instance) {
 				inst.lastMove = rt.K.Now()
 				inst.migrating = false
 				rt.migrations++
+				rt.tr.Emit(trace.Record{Kind: trace.KindCommit, Parent: mig.traceID,
+					Server: int32(src), Target: int32(dst), Actor: uint64(inst.id), Rule: -1})
 				if onDone != nil {
 					onDone(true)
 				}

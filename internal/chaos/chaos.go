@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // MsgKind enumerates the EMR control-plane message types (§4.1 Fig. 4).
@@ -135,9 +136,14 @@ type Injector struct {
 	now   func() sim.Time
 	plans [numKinds]Faults
 	trace []string
+	tr    *trace.Tracer // nil = injections not in the structured trace
 
 	Stats Stats
 }
+
+// SetTracer mirrors every injected fault into the structured decision trace
+// (as KindChaos records) in addition to the injector's own string trace.
+func (in *Injector) SetTracer(t *trace.Tracer) { in.tr = t }
 
 // NewInjector creates an injector whose fault stream derives only from
 // seed. now supplies timestamps for the trace (pass kernel.Now); nil uses
@@ -192,10 +198,13 @@ func (in *Injector) Intercept(kind MsgKind, from, to string) Decision {
 	return Decision{Verdict: Deliver}
 }
 
-// Tracef appends a timestamped line to the injector's event trace.
+// Tracef appends a timestamped line to the injector's event trace (the
+// string trace whose bit-identity determinism tests pin) and mirrors it
+// into the structured decision trace when a tracer is installed.
 func (in *Injector) Tracef(format string, args ...interface{}) {
-	in.trace = append(in.trace,
-		fmt.Sprintf("t=%d %s", int64(in.now()), fmt.Sprintf(format, args...)))
+	msg := fmt.Sprintf(format, args...)
+	in.trace = append(in.trace, fmt.Sprintf("t=%d %s", int64(in.now()), msg))
+	in.tr.Emit(trace.Record{Kind: trace.KindChaos, Server: -1, Target: -1, Rule: -1, Detail: msg})
 }
 
 // Trace returns the recorded event trace (do not mutate).

@@ -162,6 +162,49 @@ func TestGenerateDeterministicAndPaired(t *testing.T) {
 	}
 }
 
+// Two events scheduled for the same instant must dispatch in their slice
+// order (Apply's sort is stable): a crash and its repair colliding on one
+// tick is crash-then-repair, never the reverse.
+func TestApplySameInstantEventsKeepScheduleOrder(t *testing.T) {
+	k := sim.New(1)
+	in := NewInjector(1, k.Now)
+	env := &fakeEnv{}
+	at := sim.Time(sim.Second)
+	in.Apply(k, env, []Event{
+		{At: at, Op: CrashMachine, Target: 0},
+		{At: at, Op: RepairMachine, Target: 0},
+		{At: at, Op: FailLEM, Target: 1},
+	})
+	k.Run(sim.Time(2 * sim.Second))
+	want := []string{"crash", "repair", "faillem"}
+	if !reflect.DeepEqual(env.log, want) {
+		t.Fatalf("same-instant dispatch order = %v, want %v", env.log, want)
+	}
+}
+
+// A degenerate one-tick horizon crams every fault onto t=0; recoveries must
+// still land strictly later (outage is never zero), or a fault and its own
+// recovery would race on the same instant.
+func TestGenerateTinyHorizonOrdersRecoveryAfterFault(t *testing.T) {
+	in := NewInjector(13, nil)
+	events := in.Generate(ScheduleOpts{
+		Horizon:  1,
+		Machines: []int{0, 1},
+		GEMs:     1, LEMs: []int{0, 1},
+		Crashes: 2, GEMFails: 1, LEMFails: 2,
+	})
+	recovery := map[Op]bool{RepairMachine: true, RecoverGEM: true, RecoverLEM: true}
+	for _, ev := range events {
+		if recovery[ev.Op] {
+			if ev.At == 0 {
+				t.Fatalf("recovery %v %d scheduled at t=0, same instant as its fault", ev.Op, ev.Target)
+			}
+		} else if ev.At != 0 {
+			t.Fatalf("fault %v %d escaped a one-tick horizon: t=%d", ev.Op, ev.Target, int64(ev.At))
+		}
+	}
+}
+
 type fakeEnv struct{ log []string }
 
 func (e *fakeEnv) CrashMachine(id int) bool  { e.log = append(e.log, "crash"); return true }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // InstanceType describes a machine flavor, mirroring the AWS instance types
@@ -239,7 +240,14 @@ type Cluster struct {
 	// onFail hooks fire synchronously when a machine crashes, letting the
 	// actor runtime abort in-flight migrations deterministically.
 	onFail []func(MachineID)
+
+	tr *trace.Tracer // nil = machine lifecycle events untraced
 }
+
+// SetTracer installs (or removes, with nil) the decision tracer; machine
+// lifecycle events (provision, boot, crash, repair, decommission) are
+// recorded through it.
+func (c *Cluster) SetTracer(t *trace.Tracer) { c.tr = t }
 
 // New creates a cluster with n machines of the given type, already booted.
 func New(k *sim.Kernel, n int, typ InstanceType) *Cluster {
@@ -270,8 +278,10 @@ func (c *Cluster) Provision(typ InstanceType, onUp func(*Machine)) *Machine {
 	}
 	m := c.newMachine(typ)
 	c.provisions++
+	c.tr.Emit(trace.Record{Kind: trace.KindProvision, Server: -1, Target: int32(m.ID), Rule: -1, Detail: typ.Name})
 	c.K.After(typ.Boot, func() {
 		m.up = true
+		c.tr.Emit(trace.Record{Kind: trace.KindMachineUp, Server: -1, Target: int32(m.ID), Rule: -1})
 		if onUp != nil {
 			onUp(m)
 		}
@@ -294,6 +304,7 @@ func (c *Cluster) Fail(id MachineID) bool {
 	m.failed = true
 	m.active = nil
 	m.queue = nil
+	c.tr.Emit(trace.Record{Kind: trace.KindCrash, Server: int32(id), Target: -1, Rule: -1})
 	for _, fn := range c.onFail {
 		fn(id)
 	}
@@ -311,6 +322,7 @@ func (c *Cluster) Repair(id MachineID) bool {
 	m.failed = false
 	m.memUsed = 0
 	m.ResetWindow()
+	c.tr.Emit(trace.Record{Kind: trace.KindRepair, Server: int32(id), Target: -1, Rule: -1})
 	return true
 }
 
@@ -329,6 +341,7 @@ func (c *Cluster) Decommission(id MachineID) error {
 	m.up = false
 	m.decommed = true
 	c.decommissions++
+	c.tr.Emit(trace.Record{Kind: trace.KindDecommission, Server: int32(id), Target: -1, Rule: -1})
 	return nil
 }
 

@@ -5,8 +5,10 @@ import (
 
 	"plasma/internal/actor"
 	"plasma/internal/chaos"
+	"plasma/internal/cluster"
 	"plasma/internal/epl"
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // Control-plane chaos: the EMR must degrade gracefully — not stall, not
@@ -218,6 +220,116 @@ func TestKQuorumDiscountsFailedLEMs(t *testing.T) {
 	}
 	if len(e.rt.ActorsOn(0))+len(e.rt.ActorsOn(1)) != 4 {
 		t.Fatal("workers lost")
+	}
+}
+
+// The nastiest timing for a machine crash is the exact instant a migration
+// commits. Pass 1 traces a clean run to learn when the first commit lands
+// and from which source; pass 2 replays the same seed with the source
+// crashing at precisely that instant. The crash is scheduled up front, so it
+// wins the same-instant (at, seq) tie against the commit callback: the
+// migration must roll back, not commit, and no actor may be lost or stuck.
+func TestCrashExactlyAtMigrationCommitTick(t *testing.T) {
+	var commitAt sim.Time
+	commitSrc := cluster.MachineID(-1)
+	{
+		e, refs, pol := hotServerEnv(t)
+		m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+		ring := trace.NewRing(1 << 16)
+		tr := trace.New(ring)
+		tr.SetClock(e.k.Now)
+		m.SetTracer(tr)
+		m.Start()
+		startWork(e, refs...)
+		e.k.Run(sim.Time(20 * sim.Second))
+		for _, r := range ring.Records() {
+			if r.Kind == trace.KindCommit {
+				commitAt, commitSrc = r.At, cluster.MachineID(r.Server)
+				break
+			}
+		}
+		if commitSrc < 0 {
+			t.Fatal("clean run committed no migration; test is vacuous")
+		}
+	}
+
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	ring := trace.NewRing(1 << 16)
+	tr := trace.New(ring)
+	tr.SetClock(e.k.Now)
+	m.SetTracer(tr)
+	e.k.At(commitAt, func() {
+		if !e.c.Fail(commitSrc) {
+			t.Errorf("crash of machine %d refused at t=%d", commitSrc, int64(commitAt))
+			return
+		}
+		e.rt.RecoverMachine(commitSrc)
+	})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(20 * sim.Second))
+
+	sawAbort := false
+	for _, r := range ring.Records() {
+		if r.At != commitAt {
+			continue
+		}
+		switch r.Kind {
+		case trace.KindRollback:
+			sawAbort = true
+		case trace.KindCommit:
+			t.Fatalf("migration committed at the crash instant t=%d", int64(commitAt))
+		}
+	}
+	if !sawAbort {
+		t.Fatal("no rollback at the crash instant; the crash missed the in-flight migration")
+	}
+	if n := e.rt.InFlightMigrations(); n != 0 {
+		t.Fatalf("%d migrations stuck in flight after crash-at-commit", n)
+	}
+	for _, r := range refs {
+		if !e.rt.Exists(r) {
+			t.Fatal("worker lost to a crash-at-commit race")
+		}
+		srv := e.rt.ServerOf(r)
+		if mach := e.c.Machine(srv); mach == nil || !mach.Up() {
+			t.Fatalf("worker homed on down machine %d", srv)
+		}
+	}
+}
+
+// A machine that crashes and recovers entirely inside the warm-up window —
+// before the very first elasticity period has ticked — must leave no scar:
+// the first snapshot sees a healthy fleet and elasticity balances onto the
+// recovered server exactly as in an undisturbed run.
+func TestRecoveryBeforeFirstElasticityPeriod(t *testing.T) {
+	e, refs, pol := hotServerEnv(t)
+	m := New(e.k, e.c, e.rt, e.prof, pol, Config{Period: sim.Second, MinResidence: sim.Millisecond})
+	e.k.At(sim.Time(200*sim.Millisecond), func() {
+		if !e.c.Fail(1) {
+			t.Error("crash of machine 1 refused")
+			return
+		}
+		e.rt.RecoverMachine(1)
+	})
+	e.k.At(sim.Time(500*sim.Millisecond), func() {
+		if !e.c.Repair(1) {
+			t.Error("repair of machine 1 refused")
+		}
+	})
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(15 * sim.Second))
+
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("elasticity never ran after a pre-period crash/repair")
+	}
+	if on0, on1 := len(e.rt.ActorsOn(0)), len(e.rt.ActorsOn(1)); on0+on1 != 4 {
+		t.Fatalf("workers lost across pre-period recovery: 0:%d 1:%d", on0, on1)
+	}
+	if len(e.rt.ActorsOn(1)) == 0 {
+		t.Fatal("load never balanced onto the repaired server")
 	}
 }
 

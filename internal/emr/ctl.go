@@ -7,6 +7,7 @@ import (
 	"plasma/internal/chaos"
 	"plasma/internal/cluster"
 	"plasma/internal/epl"
+	"plasma/internal/trace"
 )
 
 // This file is the EMR's control-plane transport: REPORT/RREPLY/QUERY/QREPLY
@@ -22,8 +23,14 @@ func lemName(srv cluster.MachineID) string { return fmt.Sprintf("lem%d", srv) }
 func gemName(id int) string                { return fmt.Sprintf("gem%d", id) }
 
 // SetChaos installs (or, with nil, removes) the control-plane fault
-// interceptor. Install before Start.
-func (m *Manager) SetChaos(i chaos.Interceptor) { m.chaosI = i }
+// interceptor. Install before Start. An already-installed tracer is handed
+// to interceptors that accept one, so SetChaos/SetTracer order is free.
+func (m *Manager) SetChaos(i chaos.Interceptor) {
+	m.chaosI = i
+	if s, ok := i.(interface{ SetTracer(*trace.Tracer) }); ok && m.tr != nil {
+		s.SetTracer(m.tr)
+	}
+}
 
 // sendCtl delivers one control-plane message after GEMLatency, subject to
 // the chaos interceptor. A duplicated message is delivered a second time one
@@ -62,6 +69,11 @@ func (m *Manager) lemReport(l *lem, snap *epl.Snapshot, tickIdx, attempt int) {
 	}
 	srv := l.srv
 	info := snap.Server(srv)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Record{Kind: trace.KindReport, Parent: m.trTick,
+			Tick: int32(tickIdx), Server: int32(srv), Target: -1, Rule: -1,
+			Value: float64(attempt), Detail: gemName(g.id)})
+	}
 	m.sendCtl(chaos.Report, lemName(srv), gemName(g.id), func() {
 		if g.failed || m.Stats.Ticks != tickIdx {
 			return
@@ -71,8 +83,13 @@ func (m *Manager) lemReport(l *lem, snap *epl.Snapshot, tickIdx, attempt int) {
 			g.reports = append(g.reports, report{srv: srv, info: info})
 		}
 		m.sendCtl(chaos.RReply, gemName(g.id), lemName(srv), func() {
-			if m.Stats.Ticks == tickIdx {
+			if m.Stats.Ticks == tickIdx && !l.acked {
 				l.acked = true
+				if m.tr.Enabled() {
+					m.tr.Emit(trace.Record{Kind: trace.KindReportAck, Parent: m.trTick,
+						Tick: int32(tickIdx), Server: int32(srv), Target: -1, Rule: -1,
+						Detail: gemName(g.id)})
+				}
 			}
 		})
 	})
@@ -123,6 +140,9 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 	tickIdx := m.Stats.Ticks
 	processed := false // dedups duplicate QUERY deliveries at the target
 	answered := false  // dedups duplicate QREPLYs and the timeout at the source
+	queryID := m.tr.Emit(trace.Record{Kind: trace.KindQuery, Parent: a.traceID,
+		Tick: int32(tickIdx), Server: int32(a.Src), Target: int32(a.Trg),
+		Actor: uint64(a.Actor.ID), Rule: -1, Value: float64(a.Pri)})
 	m.sendCtl(chaos.Query, lemName(a.Src), lemName(a.Trg), func() {
 		if processed || m.Stats.Ticks != tickIdx {
 			return
@@ -131,7 +151,7 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 		if tl := m.lemFor(a.Trg); tl.failed {
 			return // dead target LEM: silence; the source times out
 		}
-		ok := m.checkIdleRes(a, snap)
+		ok, denyReason := m.checkIdleRes(a, snap)
 		if ok && a.Kind == epl.KindReserve {
 			m.reserved[a.Trg] = a.Actor
 		}
@@ -142,9 +162,15 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 			answered = true
 			if !ok {
 				m.Stats.DeniedAdmissions++
+				m.tr.Emit(trace.Record{Kind: trace.KindDeny, Parent: queryID,
+					Tick: int32(tickIdx), Server: int32(a.Trg), Target: -1,
+					Actor: uint64(a.Actor.ID), Rule: -1, Detail: denyReason})
 				return
 			}
-			m.execMigration(a, repin)
+			admitID := m.tr.Emit(trace.Record{Kind: trace.KindAdmit, Parent: queryID,
+				Tick: int32(tickIdx), Server: int32(a.Trg), Target: -1,
+				Actor: uint64(a.Actor.ID), Rule: -1})
+			m.execMigration(a, repin, admitID)
 		})
 	})
 	m.K.After(m.Cfg.QueryTimeout, func() {
@@ -154,18 +180,23 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 		answered = true
 		m.Stats.QueryTimeouts++
 		m.Stats.DeniedAdmissions++
+		m.tr.Emit(trace.Record{Kind: trace.KindDeny, Parent: queryID,
+			Tick: int32(tickIdx), Server: int32(a.Trg), Target: -1,
+			Actor: uint64(a.Actor.ID), Rule: -1, Detail: "timeout"})
 	})
 }
 
-// execMigration carries out an admitted action via live migration.
-func (m *Manager) execMigration(a Action, repin bool) {
+// execMigration carries out an admitted action via live migration; parent
+// is the admission record's trace id (0 untraced), inherited by the
+// migration's transfer record.
+func (m *Manager) execMigration(a Action, repin bool, parent uint64) {
 	if m.RT.ServerOf(a.Actor) != a.Src {
 		return // the actor moved during the admission round trip
 	}
 	if repin {
 		m.RT.Unpin(a.Actor)
 	}
-	m.RT.Migrate(a.Actor, a.Trg, func(ok bool) {
+	m.RT.MigrateTraced(a.Actor, a.Trg, parent, func(ok bool) {
 		if repin {
 			m.RT.Pin(a.Actor)
 		}

@@ -22,6 +22,7 @@ package emr
 
 import (
 	"sort"
+	"strconv"
 
 	"plasma/internal/actor"
 	"plasma/internal/chaos"
@@ -30,6 +31,7 @@ import (
 	"plasma/internal/lint"
 	"plasma/internal/profile"
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // Action is a planned actor migration (Table 2b).
@@ -41,6 +43,8 @@ type Action struct {
 	Res     epl.Resource // resource the action is accounted against
 	Pri     int
 	Partner actor.Ref // colocation partner / reservation owner at the target
+
+	traceID uint64 // id of the action's KindPropose record (0 untraced)
 }
 
 // Config tunes the EMR.
@@ -203,6 +207,74 @@ type Manager struct {
 	booting int        // provisioned machines not yet up (scale-out cooldown)
 
 	chaosI chaos.Interceptor // nil = reliable control plane
+
+	tr     *trace.Tracer // nil = decisions untraced
+	trTick uint64        // current period's KindTick record id
+}
+
+// SetTracer installs (or removes, with nil) the decision tracer, fanning it
+// out to the actor runtime, the cluster, and any already-installed chaos
+// interceptor that accepts one. Install before Start.
+func (m *Manager) SetTracer(t *trace.Tracer) {
+	m.tr = t
+	m.RT.SetTracer(t)
+	m.C.SetTracer(t)
+	if s, ok := m.chaosI.(interface{ SetTracer(*trace.Tracer) }); ok {
+		s.SetTracer(t)
+	}
+}
+
+// evalObs bridges epl evaluation telemetry into trace records, parented to
+// the current tick (LEM pass) or the GEM's evaluation record.
+type evalObs struct {
+	m      *Manager
+	parent uint64
+	tick   int32
+	ctx    string
+}
+
+func (o *evalObs) RuleEvaluated(rule *epl.Rule, examined, fired int) {
+	o.m.tr.Emit(trace.Record{Kind: trace.KindRuleEval, Parent: o.parent, Tick: o.tick,
+		Server: -1, Target: -1, Rule: int32(rule.Index), Value: float64(fired),
+		Detail: o.ctx + " examined=" + strconv.Itoa(examined)})
+}
+
+func (o *evalObs) RuleFired(rule *epl.Rule, anchor actor.Ref, srv cluster.MachineID, values []epl.FeatureValue) {
+	var det []byte
+	for i, v := range values {
+		if i > 0 {
+			det = append(det, "; "...)
+		}
+		det = append(det, v.Feature...)
+		det = append(det, " = "...)
+		det = strconv.AppendFloat(det, v.Value, 'g', -1, 64)
+	}
+	o.m.tr.Emit(trace.Record{Kind: trace.KindRuleFire, Parent: o.parent, Tick: o.tick,
+		Server: int32(srv), Target: -1, Actor: uint64(anchor.ID), Rule: int32(rule.Index),
+		Detail: string(det)})
+}
+
+// obs returns the evaluation observer for one pass, or nil when tracing is
+// off (epl.EvaluateObserved with nil is exactly epl.Evaluate).
+func (m *Manager) obs(parent uint64, tick int, ctx string) epl.EvalObserver {
+	if !m.tr.Enabled() {
+		return nil
+	}
+	return &evalObs{m: m, parent: parent, tick: int32(tick), ctx: ctx}
+}
+
+// tracePropose stamps each planned action with its KindPropose record.
+func (m *Manager) tracePropose(actions []Action, parent uint64, tickIdx int) {
+	if !m.tr.Enabled() {
+		return
+	}
+	for i := range actions {
+		a := &actions[i]
+		a.traceID = m.tr.Emit(trace.Record{Kind: trace.KindPropose, Parent: parent,
+			Tick: int32(tickIdx), Server: int32(a.Src), Target: int32(a.Trg),
+			Actor: uint64(a.Actor.ID), Rule: -1, Value: float64(a.Pri),
+			Detail: a.Kind.String()})
+	}
 }
 
 type lem struct {
@@ -381,6 +453,12 @@ func (m *Manager) tick() {
 	m.Stats.Ticks++
 	tickIdx := m.Stats.Ticks
 
+	if m.tr.Enabled() {
+		m.trTick = m.tr.Emit(trace.Record{Kind: trace.KindTick, Tick: int32(tickIdx),
+			Server: -1, Target: -1, Rule: -1, Value: float64(m.Cfg.Period),
+			Detail: "up=" + strconv.Itoa(m.C.UpCount())})
+	}
+
 	// Close the profiling window.
 	snap := m.Prof.Snapshot(nil)
 	m.Prof.Reset()
@@ -408,7 +486,7 @@ func (m *Manager) tick() {
 		l.acked = false
 	}
 	// Pins first so planners see them.
-	inter := epl.Evaluate(m.Pol, snap, false, true)
+	inter := epl.EvaluateObserved(m.Pol, snap, false, true, m.obs(m.trTick, tickIdx, "lem"))
 	for _, pi := range inter.Pin {
 		m.RT.Pin(pi.Actor)
 	}
@@ -514,6 +592,8 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 				continue
 			}
 			m.Stats.StaleReportsUsed++
+			m.tr.Emit(trace.Record{Kind: trace.KindStaleReport, Parent: m.trTick,
+				Tick: int32(tickIdx), Server: int32(srv), Target: -1, Rule: -1, Value: float64(c.tick)})
 			combined = append(combined, report{srv: srv, info: c.info})
 		}
 	}
@@ -521,6 +601,17 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 	effK := m.Cfg.K - m.failedLEMCount()
 	if effK < 0 {
 		effK = 0
+	}
+	gemEvalID := uint64(0)
+	if m.tr.Enabled() {
+		det := gemName(g.id) + " reports=" + strconv.Itoa(len(g.reports)) +
+			" combined=" + strconv.Itoa(len(combined)) + " quorum=" + strconv.Itoa(effK)
+		if len(combined) <= effK {
+			det += " skipped"
+		}
+		gemEvalID = m.tr.Emit(trace.Record{Kind: trace.KindGemEval, Parent: m.trTick,
+			Tick: int32(tickIdx), Server: -1, Target: -1, Rule: -1,
+			Value: float64(len(combined)), Detail: det})
 	}
 	if len(combined) <= effK {
 		return
@@ -542,17 +633,22 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 	}
 	gemView = gemView.Index()
 
-	res := epl.Evaluate(m.Pol, gemView, true, false)
+	var obs epl.EvalObserver
+	if m.tr.Enabled() {
+		obs = &evalObs{m: m, parent: gemEvalID, tick: int32(tickIdx), ctx: gemName(g.id)}
+	}
+	res := epl.EvaluateObserved(m.Pol, gemView, true, false, obs)
 	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, gemView, res)
 	g.allOver = allOver
 	g.allUnder = allUnder
 	m.Stats.PlannedActions += len(actions)
+	m.tracePropose(actions, gemEvalID, tickIdx)
 	m.rreplyActions(g, tickIdx, actions)
 	if outNeed > 0 && m.Cfg.ScaleOut {
-		m.tryScaleOut(g, outNeed)
+		m.tryScaleOut(g, outNeed, gemEvalID)
 	}
 	if wantIn && m.Cfg.ScaleIn && len(actions) == 0 {
-		m.tryScaleIn(g, scope, gemView)
+		m.tryScaleIn(g, scope, gemView, gemEvalID)
 	}
 }
 
@@ -576,6 +672,7 @@ func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
 	}
 	interActions := m.planInteraction(snap, inter, all)
 	m.Stats.PlannedActions += len(interActions)
+	m.tracePropose(interActions, m.trTick, m.Stats.Ticks)
 	all = append(all, interActions...)
 
 	final := m.resolveActions(all)
@@ -589,14 +686,17 @@ func (m *Manager) resolveAndExecute(snap *epl.Snapshot, inter *epl.Intents) {
 	for _, a := range final {
 		a := a
 		if m.RT.ServerOf(a.Actor) != a.Src {
+			m.traceDrop(a, "stale-src")
 			continue // stale: the actor moved since planning
 		}
 		if m.lemFor(a.Src).failed {
+			m.traceDrop(a, "lem-crashed")
 			continue // the initiating LEM crashed after planning
 		}
 		repin := false
 		if m.RT.Pinned(a.Actor) {
 			if a.Pri <= pinPri {
+				m.traceDrop(a, "pinned")
 				continue
 			}
 			// An action outranking pin (reserve by default) may move a
@@ -639,9 +739,12 @@ func (m *Manager) resolveActions(all []Action) []Action {
 			continue
 		}
 		m.Stats.ResolvedConflicts++
+		loser := a
 		if a.Pri > cur.Pri {
+			loser = cur
 			best[a.Actor] = a
 		}
+		m.traceDrop(loser, "conflict")
 	}
 	out := make([]Action, 0, len(order))
 	for _, ref := range order {
@@ -650,28 +753,40 @@ func (m *Manager) resolveActions(all []Action) []Action {
 	return out
 }
 
+// traceDrop records an action lost before admission (conflict resolution,
+// stale source, crashed LEM, pin), parented to its propose record.
+func (m *Manager) traceDrop(a Action, reason string) {
+	m.tr.Emit(trace.Record{Kind: trace.KindResolveDrop, Parent: a.traceID,
+		Tick: int32(m.Stats.Ticks), Server: int32(a.Src), Target: int32(a.Trg),
+		Actor: uint64(a.Actor.ID), Rule: -1, Value: float64(a.Pri), Detail: reason})
+}
+
 // checkIdleRes decides whether the target server can accept the actor
 // (Table 2a): reserved servers admit only their owner and its colocation
 // partners; draining and down servers admit nothing; otherwise the target's
-// projected utilization must stay under the admission bound.
-func (m *Manager) checkIdleRes(a Action, snap *epl.Snapshot) bool {
+// projected utilization must stay under the admission bound. The second
+// return is the denial reason ("" when admitted), recorded in the trace.
+func (m *Manager) checkIdleRes(a Action, snap *epl.Snapshot) (bool, string) {
 	mach := m.C.Machine(a.Trg)
-	if mach == nil || !mach.Up() || m.draining[a.Trg] {
-		return false
+	if mach == nil || !mach.Up() {
+		return false, "target-down"
+	}
+	if m.draining[a.Trg] {
+		return false, "draining"
 	}
 	if owner, ok := m.reserved[a.Trg]; ok {
 		if a.Actor != owner && a.Partner != owner {
-			return false
+			return false, "reserved"
 		}
 		// The owner and its colocation partners are the dedicated server's
 		// entitled workload: no load check (the reserve planner already
 		// chose an idle server for them).
-		return true
+		return true, ""
 	}
 	ai := snap.Actor(a.Actor)
 	ti := snap.Server(a.Trg)
 	if ai == nil {
-		return false
+		return false, "unknown-actor"
 	}
 	l := m.lemFor(a.Trg)
 	res := a.Res
@@ -681,10 +796,10 @@ func (m *Manager) checkIdleRes(a Action, snap *epl.Snapshot) bool {
 		projected += ti.Res(res)
 	}
 	if projected+load > m.admissionBound(res) {
-		return false
+		return false, "over-bound"
 	}
 	l.promised[res] += load
-	return true
+	return true, ""
 }
 
 // admissionBound is the utilization ceiling for accepting migrations.

@@ -3,17 +3,19 @@ package emr
 import (
 	"math"
 	"sort"
+	"strconv"
 
 	"plasma/internal/actor"
 	"plasma/internal/cluster"
 	"plasma/internal/epl"
+	"plasma/internal/trace"
 )
 
 // tryScaleOut implements the adjustment protocol of §4.2: the requesting
 // GEM broadcasts to all other GEMs; each replies whether its own view is
 // similar (all of its servers overloaded too). On a majority of
 // corroborating replies the fleet grows by one server.
-func (m *Manager) tryScaleOut(g *gem, need int) {
+func (m *Manager) tryScaleOut(g *gem, need int, parent uint64) {
 	agree := 1
 	voters := 1
 	for _, other := range m.gems {
@@ -34,6 +36,11 @@ func (m *Manager) tryScaleOut(g *gem, need int) {
 	if need > maxPerPeriod {
 		need = maxPerPeriod
 	}
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Record{Kind: trace.KindScaleOut, Parent: parent,
+			Tick: int32(m.Stats.Ticks), Server: -1, Target: -1, Rule: -1,
+			Value: float64(need), Detail: "agree=" + strconv.Itoa(agree) + "/" + strconv.Itoa(voters)})
+	}
 	for m.booting < need {
 		mach := m.C.Provision(m.Cfg.InstanceType, func(*cluster.Machine) { m.booting-- })
 		if mach == nil {
@@ -47,7 +54,7 @@ func (m *Manager) tryScaleOut(g *gem, need int) {
 // tryScaleIn drains the emptiest of the GEM's servers after a corroborating
 // majority vote, migrating its actors away; the server is decommissioned
 // once empty (next tick).
-func (m *Manager) tryScaleIn(g *gem, scope []cluster.MachineID, snap *epl.Snapshot) {
+func (m *Manager) tryScaleIn(g *gem, scope []cluster.MachineID, snap *epl.Snapshot, parent uint64) {
 	if len(m.draining) > 0 || m.C.UpCount() <= m.Cfg.MinServers {
 		return
 	}
@@ -84,6 +91,9 @@ func (m *Manager) tryScaleIn(g *gem, scope []cluster.MachineID, snap *epl.Snapsh
 	}
 	m.draining[victim] = true
 	m.Stats.PlannedActions += fewest
+	scaleInID := m.tr.Emit(trace.Record{Kind: trace.KindScaleIn, Parent: parent,
+		Tick: int32(m.Stats.Ticks), Server: -1, Target: int32(victim), Rule: -1,
+		Value: float64(fewest)})
 
 	// Evacuate: spread the victim's actors over the least-loaded remaining
 	// servers. Drain migrations bypass the admission query (the server is
@@ -99,7 +109,7 @@ func (m *Manager) tryScaleIn(g *gem, scope []cluster.MachineID, snap *epl.Snapsh
 			delete(m.draining, victim)
 			return
 		}
-		m.RT.Migrate(ref, targets[i%len(targets)], nil)
+		m.RT.MigrateTraced(ref, targets[i%len(targets)], scaleInID, nil)
 	}
 }
 

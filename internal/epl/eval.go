@@ -69,12 +69,39 @@ type PinIntent struct {
 // maxBindings caps binding enumeration per rule as a runaway guard.
 const maxBindings = 1 << 20
 
+// FeatureValue is one profiled comparison observed while a rule fired: the
+// condition's textual form and the measured left-hand value.
+type FeatureValue struct {
+	Feature string
+	Value   float64
+}
+
+// EvalObserver receives evaluation telemetry. Observation is passive: it
+// never changes which intents Evaluate produces, and the values reported to
+// RuleFired are recomputed from the same snapshot the decision used.
+type EvalObserver interface {
+	// RuleEvaluated is called once per applicable rule with the number of
+	// contexts examined (bindings, or servers for server-scoped rules) and
+	// how many of them fired.
+	RuleEvaluated(rule *Rule, examined, fired int)
+	// RuleFired is called for each firing context. anchor is the zero Ref
+	// for server-scoped rules; values lists the profiled comparisons that
+	// held in this context.
+	RuleFired(rule *Rule, anchor actor.Ref, srv cluster.MachineID, values []FeatureValue)
+}
+
 // Evaluate runs every rule in pol against snap and collects intents.
 // resourceOnly / interactionOnly select which behavior classes to apply:
 // LEMs evaluate with interaction=true, resource=false (Table 2
 // applyActRules); GEMs the reverse (applyResRules). Passing both true
 // applies everything (useful for tests and single-node deployments).
 func Evaluate(pol *Policy, snap *Snapshot, resource, interaction bool) *Intents {
+	return EvaluateObserved(pol, snap, resource, interaction, nil)
+}
+
+// EvaluateObserved is Evaluate with an optional observer (nil disables
+// observation and is exactly Evaluate).
+func EvaluateObserved(pol *Policy, snap *Snapshot, resource, interaction bool, obs EvalObserver) *Intents {
 	out := &Intents{}
 	dedup := newDedup()
 	for _, rule := range pol.Rules {
@@ -87,8 +114,31 @@ func Evaluate(pol *Policy, snap *Snapshot, resource, interaction bool) *Intents 
 		if !wantRule {
 			continue
 		}
-		evalRule(pol, rule, snap, resource, interaction, out, dedup)
+		evalRule(pol, rule, snap, resource, interaction, out, dedup, obs)
 	}
+	return out
+}
+
+// condValues recomputes the profiled left-hand value of every comparison in
+// a condition for one firing context. Pure: reads only the snapshot.
+func condValues(c Cond, snap *Snapshot, b *binding, ctxSrv *ServerInfo) []FeatureValue {
+	var out []FeatureValue
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch cond := c.(type) {
+		case *AndCond:
+			walk(cond.L)
+			walk(cond.R)
+		case *OrCond:
+			walk(cond.L)
+			walk(cond.R)
+		case *CmpCond:
+			if v, ok := evalFeature(cond.Feat, cond.Stat, snap, b, ctxSrv); ok {
+				out = append(out, FeatureValue{Feature: cond.String(), Value: v})
+			}
+		}
+	}
+	walk(c)
 	return out
 }
 
@@ -186,20 +236,28 @@ func (b *binding) lookup(ref *ActorRef) *ActorInfo {
 	return b.byRef[ref]
 }
 
-func evalRule(pol *Policy, rule *Rule, snap *Snapshot, resource, interaction bool, out *Intents, dd *dedup) {
+func evalRule(pol *Policy, rule *Rule, snap *Snapshot, resource, interaction bool, out *Intents, dd *dedup, obs EvalObserver) {
 	refs := ruleBindingRefs(rule)
 	if len(refs) == 0 {
 		// Server-scoped rule (e.g. pure balance): the condition is checked
 		// against each server.
 		var violating []cluster.MachineID
+		examined := 0
 		for _, srv := range snap.Servers {
 			if !srv.Up {
 				continue
 			}
+			examined++
 			b := &binding{}
 			if evalCond(rule.Cond, snap, b, srv) {
 				violating = append(violating, srv.ID)
+				if obs != nil {
+					obs.RuleFired(rule, actor.Ref{}, srv.ID, condValues(rule.Cond, snap, b, srv))
+				}
 			}
+		}
+		if obs != nil {
+			obs.RuleEvaluated(rule, examined, len(violating))
 		}
 		if len(violating) > 0 {
 			emitBehaviors(pol, rule, snap, &binding{}, violating, resource, interaction, out, dd)
@@ -211,6 +269,7 @@ func evalRule(pol *Policy, rule *Rule, snap *Snapshot, resource, interaction boo
 	inrefs := collectInRefs(rule.Cond)
 	b := &binding{byDecl: map[*VarDecl]*ActorInfo{}, byRef: map[*ActorRef]*ActorInfo{}}
 	count := 0
+	fired := 0
 	var rec func(i int)
 	rec = func(i int) {
 		if count > maxBindings {
@@ -223,6 +282,10 @@ func evalRule(pol *Policy, rule *Rule, snap *Snapshot, resource, interaction boo
 				return
 			}
 			if evalCond(rule.Cond, snap, b, ctxSrv) {
+				fired++
+				if obs != nil {
+					obs.RuleFired(rule, b.anchor.Ref, ctxSrv.ID, condValues(rule.Cond, snap, b, ctxSrv))
+				}
 				emitBehaviors(pol, rule, snap, b, []cluster.MachineID{ctxSrv.ID}, resource, interaction, out, dd)
 			}
 			return
@@ -236,6 +299,9 @@ func evalRule(pol *Policy, rule *Rule, snap *Snapshot, resource, interaction boo
 		}
 	}
 	rec(0)
+	if obs != nil {
+		obs.RuleEvaluated(rule, count, fired)
+	}
 }
 
 func bind(b *binding, ref *ActorRef, a *ActorInfo, first bool) {

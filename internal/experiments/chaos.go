@@ -227,6 +227,7 @@ func chaosPagerank(cfg Config, seed int64) chaosRun {
 
 	m := emr.New(k, c, rt, prof, epl.MustParse(pagerank.PolicySrc),
 		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	cfg.wireTrace(m)
 	inj := chaos.NewInjector(seed*31+7, k.Now)
 	inj.SetAllFaults(chaosMsgFaults)
 	m.SetChaos(inj)
@@ -282,6 +283,7 @@ func chaosMediaService(cfg Config, seed int64) chaosRun {
 
 	m := emr.New(k, c, rt, prof, epl.MustParse(mediaservice.PolicySrc),
 		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	cfg.wireTrace(m)
 	inj := chaos.NewInjector(seed*31+7, k.Now)
 	inj.SetAllFaults(chaosMsgFaults)
 	m.SetChaos(inj)
@@ -364,6 +366,7 @@ func chaosHalo(cfg Config, seed int64) chaosRun {
 
 	m := emr.New(k, c, rt, prof, epl.MustParse(halo.FullPolicySrc),
 		emr.Config{Period: period, NumGEMs: 2, MinResidence: period})
+	cfg.wireTrace(m)
 	inj := chaos.NewInjector(seed*31+7, k.Now)
 	inj.SetAllFaults(chaosMsgFaults)
 	m.SetChaos(inj)

@@ -11,8 +11,10 @@ import (
 	"sort"
 	"strings"
 
+	"plasma/internal/emr"
 	"plasma/internal/metrics"
 	"plasma/internal/sim"
+	"plasma/internal/trace"
 )
 
 // Result is one experiment's output.
@@ -106,6 +108,12 @@ type Config struct {
 	Full bool
 	Seed int64
 
+	// Trace, when non-nil, receives the structured decision trace of every
+	// EMR the experiment builds (see internal/trace). Experiments that run
+	// several kernels sequentially re-point its clock at each new kernel,
+	// so record timestamps are always the active kernel's virtual time.
+	Trace *trace.Tracer
+
 	// stats, when non-nil, collects every kernel created through
 	// Config.kernel/kernelSeeded so Run can aggregate event counts and
 	// queue depths (set internally by Run).
@@ -130,7 +138,17 @@ func (c Config) kernelSeeded(seed int64) *sim.Kernel {
 	if c.stats != nil {
 		c.stats.kernels = append(c.stats.kernels, k)
 	}
+	c.Trace.SetClock(k.Now)
 	return k
+}
+
+// wireTrace hands the configured tracer to a freshly built EMR manager
+// (which fans it out to the actor runtime, cluster, and chaos injector).
+// No-op when tracing is off.
+func (c Config) wireTrace(m *emr.Manager) {
+	if c.Trace != nil {
+		m.SetTracer(c.Trace)
+	}
 }
 
 // simTracker accumulates the kernels an experiment creates; totals are

@@ -55,6 +55,7 @@ func Fig10(cfg Config) *Result {
 		mgr := emr.New(k, c, rt, prof, epl.MustParse(mediaservice.PolicySrc),
 			emr.Config{Period: period, ScaleOut: true, ScaleIn: true,
 				MinServers: 4, InstanceType: cluster.M1Small})
+		cfg.wireTrace(mgr)
 		mgr.Start()
 
 		rec := workload.NewRecorder(20 * sim.Second)

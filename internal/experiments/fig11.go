@@ -55,6 +55,7 @@ func Fig11a(cfg Config) *Result {
 		case "inter-rule":
 			mgr := emr.New(k, c, rt, prof, epl.MustParse(halo.InterPolicySrc),
 				emr.Config{Period: period})
+			cfg.wireTrace(mgr)
 			mgr.Start()
 		case "def-rule":
 			f := &baseline.FreqColocator{K: k, RT: rt, C: c, Prof: prof,
@@ -224,6 +225,7 @@ func Fig11c(cfg Config) *Result {
 
 		mgr := emr.New(k, c, rt, prof, epl.MustParse(halo.FullPolicySrc),
 			emr.Config{Period: period, NumGEMs: gems})
+		cfg.wireTrace(mgr)
 		mgr.Start()
 
 		rec := workload.NewRecorder(20 * sim.Second)

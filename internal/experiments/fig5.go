@@ -42,6 +42,7 @@ func Fig5(cfg Config) *Result {
 		case "res-col-rule":
 			mgr := emr.New(k, c, rt, prof, epl.MustParse(metadata.PolicySrc),
 				emr.Config{Period: period})
+			cfg.wireTrace(mgr)
 			mgr.Start()
 		case "def-rule":
 			h := &baseline.HeavyMigrator{K: k, RT: rt, C: c, Prof: prof,

@@ -45,6 +45,7 @@ func Fig9(cfg Config) *Result {
 		case "plasma":
 			mgr := emr.New(k, c, rt, prof, epl.MustParse(estore.PolicySrc),
 				emr.Config{Period: period})
+			cfg.wireTrace(mgr)
 			mgr.Start()
 		case "in-app":
 			e := &estore.InApp{K: k, RT: rt, C: c, Prof: prof, App: app,

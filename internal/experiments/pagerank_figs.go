@@ -101,6 +101,7 @@ func Fig6a(cfg Config) *Result {
 		case "plasma":
 			mgr := emr.New(env.k, env.c, env.rt, env.prof, epl.MustParse(pagerank.PolicySrc),
 				emr.Config{Period: su.period})
+			cfg.wireTrace(mgr)
 			mgr.Start()
 		case "orleans":
 			o := &baseline.Orleans{K: env.k, RT: env.rt, C: env.c, Prof: env.prof,
@@ -164,6 +165,7 @@ func Fig6b(cfg Config) *Result {
 	}
 	mgr := emr.New(env2.k, env2.c, env2.rt, env2.prof, epl.MustParse(pagerank.PolicySrc),
 		emr.Config{Period: su.period, ScaleOut: true, InstanceType: inst})
+	cfg.wireTrace(mgr)
 	mgr.Start()
 	env2.app.Start(env2.k)
 	runToCompletion(env2, 30*sim.Minute)
@@ -208,6 +210,7 @@ func Fig7a(cfg Config) *Result {
 		} else if elastic {
 			mgr := emr.New(env.k, env.c, env.rt, env.prof, epl.MustParse(pagerank.PolicySrc),
 				emr.Config{Period: su.period})
+			cfg.wireTrace(mgr)
 			mgr.Start()
 		}
 		env.app.Start(env.k)
@@ -256,6 +259,7 @@ func Fig7bc(cfg Config) *Result {
 	env := buildPagerank(cfg, su, 8, placement, cfg.seed())
 	mgr := emr.New(env.k, env.c, env.rt, env.prof, epl.MustParse(pagerank.PolicySrc),
 		emr.Config{Period: su.period})
+	cfg.wireTrace(mgr)
 	for i := 0; i < 8; i++ {
 		id := fmt.Sprintf("node%d", i+1)
 		r.Series["cpu-"+id] = &metrics.Series{Name: "cpu-" + id}
@@ -317,6 +321,7 @@ func Fig8(cfg Config) *Result {
 	}
 	mgr := emr.New(env.k, env.c, env.rt, env.prof, epl.MustParse(pagerank.PolicySrc),
 		emr.Config{Period: su.period, ScaleOut: true, InstanceType: inst})
+	cfg.wireTrace(mgr)
 
 	iterSeries := &metrics.Series{Name: "iteration-time"}
 	env.app.OnIteration = func(iter int, d sim.Duration) {

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"plasma/internal/trace"
+)
+
+// tracedRun executes one experiment with tracing on and returns the
+// serialized JSONL trace.
+func tracedRun(t *testing.T, id string, seed int64) []byte {
+	t.Helper()
+	ring := trace.NewRing(1 << 20)
+	cfg := Config{Seed: seed, Trace: trace.New(ring)}
+	if _, err := Run(id, cfg); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if ring.Dropped() > 0 {
+		t.Fatalf("%s: trace ring dropped %d records", id, ring.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, ring.Records()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Same seed, same experiment → byte-identical traces. This is the
+// tracing-side statement of the repo's determinism invariant: emitting
+// records must not perturb (or be perturbed by) any simulation decision.
+func TestTraceSameSeedByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig5", "chaos"} {
+		a := tracedRun(t, id, 7)
+		b := tracedRun(t, id, 7)
+		if len(a) == 0 {
+			t.Fatalf("%s: traced run emitted no records", id)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: same-seed traces differ (%d vs %d bytes)", id, len(a), len(b))
+		}
+	}
+}
+
+// A traced run must render exactly the same result as an untraced one:
+// observation is passive.
+func TestTraceDoesNotPerturbResults(t *testing.T) {
+	plain, err := Run("fig5", Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run("fig5", Config{Seed: 3, Trace: trace.New(trace.NewRing(1 << 20))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != traced.Render() {
+		t.Fatalf("tracing changed experiment output:\n--- plain ---\n%s\n--- traced ---\n%s",
+			plain.Render(), traced.Render())
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: the JSON Array Format understood by
+// chrome://tracing and Perfetto (ui.perfetto.dev). Virtual time is already
+// microseconds, which is exactly the ts unit the format wants.
+//
+// Mapping: everything lives in one process ("plasma"); each server gets a
+// thread (named "server N"), and records with no server (GEM-side and
+// cluster-global events) land on a synthetic "control-plane" thread. Ticks
+// export as complete ("X") spans of one elasticity period; everything else
+// is an instant ("i") event carrying its typed fields in args, including
+// the causal parent id so a span tree can be rebuilt from the UI.
+
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Ph    string                 `json:"ph"`
+	Ts    int64                  `json:"ts"`
+	Dur   int64                  `json:"dur,omitempty"`
+	Pid   int                    `json:"pid"`
+	Tid   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+const (
+	chromePid     = 1
+	controlTid    = 1
+	serverTidBase = 2 // server N maps to tid N+serverTidBase
+)
+
+func chromeTid(server int32) int {
+	if server < 0 {
+		return controlTid
+	}
+	return int(server) + serverTidBase
+}
+
+// WriteChromeTrace converts records to the Chrome trace_event JSON array
+// format. Output is deterministic for a given record slice.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	var events []chromeEvent
+
+	// Thread metadata: name every tid we will reference, in sorted order.
+	tids := map[int]string{controlTid: "control-plane"}
+	for _, r := range recs {
+		if r.Server >= 0 {
+			tids[chromeTid(r.Server)] = "server " + strconv.Itoa(int(r.Server))
+		}
+	}
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]interface{}{"name": "plasma"},
+	})
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]interface{}{"name": tids[tid]},
+		})
+	}
+
+	for _, r := range recs {
+		args := map[string]interface{}{"id": r.ID}
+		if r.Parent != 0 {
+			args["parent"] = r.Parent
+		}
+		if r.Tick != 0 {
+			args["tick"] = r.Tick
+		}
+		if r.Actor != 0 {
+			args["actor"] = r.Actor
+		}
+		if r.Rule >= 0 {
+			args["rule"] = r.Rule
+		}
+		if r.Target >= 0 {
+			args["target"] = r.Target
+		}
+		if r.Detail != "" {
+			args["detail"] = r.Detail
+		}
+		ev := chromeEvent{
+			Name: r.Kind.String(), Cat: "plasma", Ts: int64(r.At),
+			Pid: chromePid, Tid: chromeTid(r.Server), Args: args,
+		}
+		if r.Kind == KindTick && r.Value > 0 {
+			ev.Ph, ev.Dur = "X", int64(r.Value)
+			ev.Name = "tick " + strconv.Itoa(int(r.Tick))
+		} else {
+			ev.Ph, ev.Scope = "i", "t"
+		}
+		events = append(events, ev)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		if i != len(events)-1 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
