@@ -93,3 +93,14 @@ func BenchmarkFig11bHaloClients(b *testing.B) {
 func BenchmarkFig11cGEMs(b *testing.B) {
 	benchExperiment(b, "fig11c", "peak_ms_1gem", "final_ms_1gem", "final_ms_4gem")
 }
+
+// BenchmarkScale sweeps GEM count on the synthetic large-fleet balance.
+func BenchmarkScale(b *testing.B) {
+	benchExperiment(b, "scale", "migrations_4000_1gem", "migrations_4000_4gem", "spare_filled_4000_4gem")
+}
+
+// BenchmarkScaleSnap measures fleet-wide EPR snapshot construction; its
+// allocs/op is the snapshot-arena regression gate.
+func BenchmarkScaleSnap(b *testing.B) {
+	benchExperiment(b, "scale_snap", "actors", "call_records", "messages")
+}

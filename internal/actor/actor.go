@@ -133,6 +133,12 @@ type Runtime struct {
 	actors     map[ID]*instance
 	migrations int
 
+	// order lists live actor ids in spawn (= ascending id) order, so bulk
+	// iteration needs no per-call sort. Stopped actors leave stale entries
+	// behind (skipped on iteration) until a compaction sweep removes them.
+	order     []ID
+	orderDead int // stale entries in order (actors since stopped)
+
 	// inflight tracks live migrations so machine crashes can abort or roll
 	// them back; failedMigs counts migrations that did not complete.
 	inflight   map[ID]*migration
@@ -284,11 +290,11 @@ func (rt *Runtime) SpawnOn(typ string, b Behavior, srv cluster.MachineID) Ref {
 		typ:        typ,
 		behavior:   b,
 		srv:        srv,
-		props:      make(map[string][]Ref),
 		lastMove:   rt.K.Now(),
 		pendingDst: -1,
 	}
 	rt.actors[inst.id] = inst
+	rt.order = append(rt.order, inst.id)
 	return Ref{ID: inst.id}
 }
 
@@ -361,6 +367,22 @@ func (rt *Runtime) Stop(ref Ref) {
 	}
 	rt.C.Machine(inst.srv).AddMem(-inst.memSize)
 	delete(rt.actors, ref.ID)
+	rt.orderDead++
+	if rt.orderDead*2 > len(rt.order) {
+		rt.compactOrder()
+	}
+}
+
+// compactOrder drops stale (stopped) ids from the spawn-order list.
+func (rt *Runtime) compactOrder() {
+	live := rt.order[:0]
+	for _, id := range rt.order {
+		if rt.actors[id] != nil {
+			live = append(live, id)
+		}
+	}
+	rt.order = live
+	rt.orderDead = 0
 }
 
 // Exists reports whether the actor is alive.
@@ -394,8 +416,17 @@ func (rt *Runtime) Props(ref Ref, name string) []Ref {
 // spawn-time initialization by application facades).
 func (rt *Runtime) SetProp(ref Ref, name string, refs []Ref) {
 	if inst := rt.actors[ref.ID]; inst != nil {
-		inst.props[name] = append([]Ref(nil), refs...)
+		inst.setProp(name, append([]Ref(nil), refs...))
 	}
+}
+
+// setProp stores a property, allocating the map on first use (most actors
+// expose no properties, so instances carry a nil map until one appears).
+func (inst *instance) setProp(name string, refs []Ref) {
+	if inst.props == nil {
+		inst.props = make(map[string][]Ref)
+	}
+	inst.props[name] = refs
 }
 
 // PropNames lists the actor's reference property names in sorted order.
@@ -450,14 +481,11 @@ func (rt *Runtime) LastMoved(ref Ref) sim.Time {
 
 // Actors returns all live actor refs in id order (deterministic).
 func (rt *Runtime) Actors() []Ref {
-	ids := make([]ID, 0, len(rt.actors))
-	for id := range rt.actors {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	refs := make([]Ref, len(ids))
-	for i, id := range ids {
-		refs[i] = Ref{ID: id}
+	refs := make([]Ref, 0, len(rt.actors))
+	for _, id := range rt.order {
+		if rt.actors[id] != nil {
+			refs = append(refs, Ref{ID: id})
+		}
 	}
 	return refs
 }
@@ -465,12 +493,63 @@ func (rt *Runtime) Actors() []Ref {
 // ActorsOn returns the live actors hosted on srv, in id order.
 func (rt *Runtime) ActorsOn(srv cluster.MachineID) []Ref {
 	var refs []Ref
-	for _, r := range rt.Actors() {
-		if rt.actors[r.ID].srv == srv {
-			refs = append(refs, r)
+	for _, id := range rt.order {
+		if inst := rt.actors[id]; inst != nil && inst.srv == srv {
+			refs = append(refs, Ref{ID: id})
 		}
 	}
 	return refs
+}
+
+// Info is one live actor's metadata as seen by ForEachActor: everything the
+// elasticity profiling runtime needs per actor per period, delivered in a
+// single visit instead of one map lookup per field.
+type Info struct {
+	Ref       Ref
+	Type      string
+	Server    cluster.MachineID
+	MemBytes  int64
+	Pinned    bool
+	LastMoved sim.Time
+	NumProps  int // number of reference properties the actor exposes
+}
+
+// ForEachActor visits every live actor in id order without allocating. It
+// is the bulk-iteration fast path under the profiler's per-period snapshot;
+// fn must not spawn or stop actors.
+func (rt *Runtime) ForEachActor(fn func(Info)) {
+	for _, id := range rt.order {
+		inst := rt.actors[id]
+		if inst == nil {
+			continue
+		}
+		fn(Info{
+			Ref:       Ref{ID: id},
+			Type:      inst.typ,
+			Server:    inst.srv,
+			MemBytes:  inst.memSize,
+			Pinned:    inst.pinned,
+			LastMoved: inst.lastMove,
+			NumProps:  len(inst.props),
+		})
+	}
+}
+
+// NumActors reports the number of live actors.
+func (rt *Runtime) NumActors() int { return len(rt.actors) }
+
+// MigratingTo reports the destination of the actor's in-flight or pending
+// migration, or -1 when no move is underway. The EMR's reservation ledger
+// uses it to keep a dedicated server held while its owner is still being
+// transferred there.
+func (rt *Runtime) MigratingTo(ref Ref) cluster.MachineID {
+	if mig := rt.inflight[ref.ID]; mig != nil {
+		return mig.dst
+	}
+	if inst := rt.actors[ref.ID]; inst != nil && inst.pendingDst >= 0 {
+		return inst.pendingDst
+	}
+	return -1
 }
 
 // send routes a message to an actor, resolving its location at delivery
@@ -741,12 +820,12 @@ func (c *Context) Reply(arg interface{}, size int64) {
 // SetProp publishes a reference property visible to EPL `ref(...)`
 // conditions. The update is immediate (metadata, not messaging).
 func (c *Context) SetProp(name string, refs []Ref) {
-	c.inst.props[name] = append([]Ref(nil), refs...)
+	c.inst.setProp(name, append([]Ref(nil), refs...))
 }
 
 // AddPropRef appends one ref to a property.
 func (c *Context) AddPropRef(name string, r Ref) {
-	c.inst.props[name] = append(c.inst.props[name], r)
+	c.inst.setProp(name, append(c.inst.props[name], r))
 }
 
 // SetMemSize declares the actor's state size in bytes (drives machine

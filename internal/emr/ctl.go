@@ -154,6 +154,26 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 		ok, denyReason := m.checkIdleRes(a, snap)
 		if ok && a.Kind == epl.KindReserve {
 			m.reserved[a.Trg] = a.Actor
+			m.resEpoch[a.Trg]++
+			epoch := m.resEpoch[a.Trg]
+			// The QREPLY may be lost (chaos) or the period may roll over
+			// before the source acts — then no transfer toward Trg ever
+			// starts and the hold would block the target for every other
+			// actor. The target releases its own grant after the query
+			// timeout unless the owner's transfer is underway (or done).
+			m.K.After(m.Cfg.QueryTimeout, func() {
+				if cur, held := m.reserved[a.Trg]; !held || cur != a.Actor || m.resEpoch[a.Trg] != epoch {
+					return
+				}
+				if m.RT.ServerOf(a.Actor) == a.Trg || m.RT.MigratingTo(a.Actor) == a.Trg {
+					return // the admitted transfer went ahead
+				}
+				delete(m.reserved, a.Trg)
+				m.Stats.ReleasedReservations++
+				m.tr.Emit(trace.Record{Kind: trace.KindDeny, Parent: queryID,
+					Tick: int32(m.Stats.Ticks), Server: int32(a.Trg), Target: -1,
+					Actor: uint64(a.Actor.ID), Rule: -1, Detail: "reserve-released"})
+			})
 		}
 		m.sendCtl(chaos.QReply, lemName(a.Trg), lemName(a.Src), func() {
 			if answered || m.Stats.Ticks != tickIdx {

@@ -172,6 +172,10 @@ type Stats struct {
 	RetriedReports   int // REPORT retransmissions after an ack timeout
 	QueryTimeouts    int // admission queries treated as denials on timeout
 	StaleReportsUsed int // cache entries standing in for lost REPORTs
+	// ReleasedReservations counts target-side reserve grants released
+	// because the admitted transfer never started (lost QREPLY or period
+	// rollover before the source acted).
+	ReleasedReservations int
 }
 
 // Manager wires the EMR to an application: policy, profiler, cluster, and
@@ -187,6 +191,10 @@ type Manager struct {
 	gems     []*gem
 	lems     map[cluster.MachineID]*lem
 	reserved map[cluster.MachineID]actor.Ref // dedicated server -> owner
+	// resEpoch counts (re)grants per reserved server, so a stale
+	// release-on-timeout closure from an earlier grant cannot revoke a
+	// newer legitimate reservation of the same server.
+	resEpoch map[cluster.MachineID]uint64
 	draining map[cluster.MachineID]bool
 
 	// OnTick, when set, observes each period's global snapshot before
@@ -321,6 +329,7 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		K: k, C: c, RT: rt, Prof: prof, Pol: pol, Cfg: cfg.withDefaults(),
 		lems:     make(map[cluster.MachineID]*lem),
 		reserved: make(map[cluster.MachineID]actor.Ref),
+		resEpoch: make(map[cluster.MachineID]uint64),
 		draining: make(map[cluster.MachineID]bool),
 	}
 	if pol != nil {
@@ -525,18 +534,21 @@ func (m *Manager) tick() {
 }
 
 // cleanupReservations drops reservations whose owner died or moved away.
+// A reservation is kept while the owner's admitted transfer TO the
+// reserved server is still in flight: ServerOf reports the source until
+// the migration commits, so "not on srv yet" must not be read as "moved
+// away" — that window is exactly when a foreign actor could otherwise be
+// admitted onto the dedicated server.
 func (m *Manager) cleanupReservations() {
 	for srv, owner := range m.reserved {
-		if !m.RT.Exists(owner) || m.RT.ServerOf(owner) != srv {
-			// Keep the reservation while the owner's migration is still in
-			// flight: the owner not being on any other reserved server is
-			// approximated by dropping only when it settled elsewhere.
-			if s := m.RT.ServerOf(owner); s >= 0 && s != srv {
-				delete(m.reserved, srv)
-			} else if !m.RT.Exists(owner) {
-				delete(m.reserved, srv)
-			}
+		if !m.RT.Exists(owner) {
+			delete(m.reserved, srv)
+			continue
 		}
+		if m.RT.ServerOf(owner) == srv || m.RT.MigratingTo(owner) == srv {
+			continue // settled on, or still being transferred to, srv
+		}
+		delete(m.reserved, srv)
 	}
 }
 
@@ -625,13 +637,13 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 	// The GEM's view is built from REPORT payloads (fresh or cached), not
 	// from the profiler directly: what the GEM plans on is exactly what the
 	// network delivered.
-	gemView := &epl.Snapshot{At: snap.At, Window: snap.Window, Actors: snap.Actors}
+	servers := make([]*epl.ServerInfo, 0, len(scope))
 	for _, srv := range scope {
 		if c, ok := g.cache[srv]; ok && c.info != nil {
-			gemView.Servers = append(gemView.Servers, c.info)
+			servers = append(servers, c.info)
 		}
 	}
-	gemView = gemView.Index()
+	gemView := snap.WithServers(servers)
 
 	var obs epl.EvalObserver
 	if m.tr.Enabled() {

@@ -1,0 +1,68 @@
+package emr
+
+import (
+	"bytes"
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+	"plasma/internal/trace"
+)
+
+// differentialRun drives a full elasticity scenario — hot servers shedding
+// workers, call stats, properties, multiple GEMs — and returns its decision
+// trace. With noReuse the profiler builds every snapshot into fresh memory;
+// the pooled arena path must produce byte-identical decisions.
+func differentialRun(t *testing.T, noReuse bool) []byte {
+	t.Helper()
+	e := newEnv(7, 4, 2)
+	if noReuse {
+		e.prof.NoReuse()
+	}
+	pol := epl.MustParse(`server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);`)
+	var refs []actor.Ref
+	for i := 0; i < 12; i++ {
+		refs = append(refs, e.rt.SpawnOn("Worker", worker(30), cluster.MachineID(i%2)))
+	}
+	for i := 0; i < 3; i++ {
+		e.rt.SetProp(refs[i], "peer", []actor.Ref{refs[(i+1)%3]})
+	}
+	m := New(e.k, e.c, e.rt, e.prof, pol,
+		Config{Period: sim.Second, MinResidence: sim.Millisecond, NumGEMs: 2})
+	ring := trace.NewRing(1 << 20)
+	tr := trace.New(ring)
+	tr.SetClock(e.k.Now)
+	m.SetTracer(tr)
+	m.Start()
+	startWork(e, refs...)
+	e.k.Run(sim.Time(12 * sim.Second))
+
+	if m.Stats.ExecutedMigrations == 0 {
+		t.Fatal("differential scenario executed no migrations; trace comparison is vacuous")
+	}
+	if ring.Dropped() > 0 {
+		t.Fatalf("trace ring dropped %d records", ring.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, ring.Records()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The arena-reuse differential: at a fixed seed, the pooled snapshot path
+// and the naive fresh-allocation path must drive the EMR to byte-identical
+// decision traces. Any cross-period leak through the reused ActorInfo or
+// CallStat storage would surface as a diverging record here.
+func TestPooledSnapshotTraceMatchesNoReuse(t *testing.T) {
+	pooled := differentialRun(t, false)
+	naive := differentialRun(t, true)
+	if len(pooled) == 0 {
+		t.Fatal("traced run emitted no records")
+	}
+	if !bytes.Equal(pooled, naive) {
+		t.Fatalf("pooled vs no-reuse traces differ (%d vs %d bytes)", len(pooled), len(naive))
+	}
+}

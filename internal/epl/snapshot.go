@@ -96,18 +96,45 @@ type Snapshot struct {
 	Actors  []*ActorInfo
 	Servers []*ServerInfo
 
-	byRef    map[actor.Ref]*ActorInfo
+	// byID is a dense actor-ID index: actor ids are assigned sequentially
+	// and never reused, so a slice indexed by id replaces the former
+	// map[actor.Ref] lookup. Index() reuses it (and byType's per-type
+	// slices) across calls, so a double-buffered snapshot re-indexes
+	// without reallocating.
+	byID     []*ActorInfo
 	byType   map[string][]*ActorInfo
 	byServer map[cluster.MachineID]*ServerInfo
 }
 
-// Index builds lookup maps; call after populating Actors/Servers.
+// Index builds lookup indexes; call after populating Actors/Servers. On a
+// reused Snapshot the previous indexes are cleared and refilled in place.
 func (s *Snapshot) Index() *Snapshot {
-	s.byRef = make(map[actor.Ref]*ActorInfo, len(s.Actors))
-	s.byType = make(map[string][]*ActorInfo)
-	s.byServer = make(map[cluster.MachineID]*ServerInfo, len(s.Servers))
+	var maxID actor.ID
 	for _, a := range s.Actors {
-		s.byRef[a.Ref] = a
+		if a.Ref.ID > maxID {
+			maxID = a.Ref.ID
+		}
+	}
+	if n := int(maxID) + 1; cap(s.byID) < n {
+		s.byID = make([]*ActorInfo, n)
+	} else {
+		s.byID = s.byID[:n]
+		clear(s.byID)
+	}
+	if s.byType == nil {
+		s.byType = make(map[string][]*ActorInfo)
+	} else {
+		for t, list := range s.byType {
+			s.byType[t] = list[:0]
+		}
+	}
+	if s.byServer == nil {
+		s.byServer = make(map[cluster.MachineID]*ServerInfo, len(s.Servers))
+	} else {
+		clear(s.byServer)
+	}
+	for _, a := range s.Actors {
+		s.byID[a.Ref.ID] = a
 		s.byType[a.Type] = append(s.byType[a.Type], a)
 	}
 	for _, srv := range s.Servers {
@@ -116,8 +143,33 @@ func (s *Snapshot) Index() *Snapshot {
 	return s
 }
 
+// WithServers derives a view over the same actors (sharing the actor
+// indexes built by Index, so no per-actor work) but a different server
+// list. The GEM uses it to evaluate global policies against its
+// bounded-staleness server cache without re-indexing the whole fleet.
+func (s *Snapshot) WithServers(servers []*ServerInfo) *Snapshot {
+	v := &Snapshot{
+		At:      s.At,
+		Window:  s.Window,
+		Actors:  s.Actors,
+		Servers: servers,
+		byID:    s.byID,
+		byType:  s.byType,
+	}
+	v.byServer = make(map[cluster.MachineID]*ServerInfo, len(servers))
+	for _, srv := range servers {
+		v.byServer[srv.ID] = srv
+	}
+	return v
+}
+
 // Actor looks up one actor's info (nil if absent).
-func (s *Snapshot) Actor(ref actor.Ref) *ActorInfo { return s.byRef[ref] }
+func (s *Snapshot) Actor(ref actor.Ref) *ActorInfo {
+	if int(ref.ID) >= len(s.byID) {
+		return nil
+	}
+	return s.byID[ref.ID]
+}
 
 // OfType returns actors of the given type; AnyType returns all.
 func (s *Snapshot) OfType(t string) []*ActorInfo {

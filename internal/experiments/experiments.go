@@ -8,8 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"plasma/internal/emr"
 	"plasma/internal/metrics"
@@ -136,10 +138,49 @@ func (c Config) kernel() *sim.Kernel { return c.kernelSeeded(c.seed()) }
 func (c Config) kernelSeeded(seed int64) *sim.Kernel {
 	k := sim.New(seed)
 	if c.stats != nil {
-		c.stats.kernels = append(c.stats.kernels, k)
+		c.stats.add(k)
 	}
 	c.Trace.SetClock(k.Now)
 	return k
+}
+
+// runSeeds runs one independent trial per seed (seed base, base+1, ...) and
+// returns the trials' results in seed order. Each trial must build its own
+// kernel via cfg.kernelSeeded, so trials share no simulation state and the
+// index-ordered result slice is deterministic no matter how trials are
+// scheduled. Untraced trials run on a goroutine pool; traced runs stay
+// sequential because the tracer's clock is re-pointed at each new kernel
+// and record order must remain byte-identical per seed.
+func runSeeds[T any](cfg Config, seeds int, trial func(idx int, seed int64) T) []T {
+	out := make([]T, seeds)
+	base := cfg.seed()
+	if cfg.Trace != nil || seeds <= 1 {
+		for i := range out {
+			out[i] = trial(i, base+int64(i))
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > seeds {
+		workers = seeds
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = trial(i, base+int64(i))
+			}
+		}()
+	}
+	for i := 0; i < seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
 }
 
 // wireTrace hands the configured tracer to a freshly built EMR manager
@@ -153,8 +194,16 @@ func (c Config) wireTrace(m *emr.Manager) {
 
 // simTracker accumulates the kernels an experiment creates; totals are
 // read once the experiment function returns (all kernels idle by then).
+// The mutex covers registration from runSeeds' trial goroutines.
 type simTracker struct {
+	mu      sync.Mutex
 	kernels []*sim.Kernel
+}
+
+func (t *simTracker) add(k *sim.Kernel) {
+	t.mu.Lock()
+	t.kernels = append(t.kernels, k)
+	t.mu.Unlock()
 }
 
 func (t *simTracker) totals() (fired uint64, peak int) {
@@ -184,6 +233,11 @@ var Registry = map[string]func(Config) *Result{
 	"fig11b": Fig11b,
 	"fig11c": Fig11c,
 	"chaos":  Chaos,
+
+	// Beyond-the-paper scalability family (Fig. 11c's question asked at
+	// fleet sizes the testbed could not reach; see EXPERIMENTS.md).
+	"scale":      Scale,
+	"scale_snap": ScaleSnap,
 }
 
 // IDs returns the registered experiment ids in order.

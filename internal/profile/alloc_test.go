@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"sort"
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/sim"
+)
+
+// naiveSnapshot replicates the pre-arena snapshot build: one fresh
+// ActorInfo and Props map per actor per call, freshly copied call lists,
+// and fresh lookup maps — the allocation pattern the pooled arena replaced.
+// It reads the same accumulators as Snapshot, so it doubles as a reference
+// for the ≥5× allocation win the arena is required to deliver at 10k actors.
+func naiveSnapshot(p *Profiler) ([]*epl.ActorInfo, map[actor.Ref]*epl.ActorInfo) {
+	window := p.Window()
+	scope := map[cluster.MachineID]bool{}
+	for _, m := range p.c.Machines() {
+		if m.Up() {
+			scope[m.ID] = true
+		}
+	}
+	var servers []*epl.ServerInfo
+	for _, m := range p.c.Machines() {
+		if !scope[m.ID] {
+			continue
+		}
+		servers = append(servers, &epl.ServerInfo{
+			ID: m.ID, CPUPerc: m.CPUPercent(), MemPerc: m.MemPercent(),
+			NetPerc: m.NetPercent(), VCPUs: m.Type.VCPUs, MemMB: m.Type.MemMB, Up: true,
+		})
+	}
+	var actors []*epl.ActorInfo
+	p.rt.ForEachActor(func(info actor.Info) {
+		m := p.c.Machine(info.Server)
+		if m == nil {
+			return
+		}
+		ai := &epl.ActorInfo{
+			Ref: info.Ref, Type: info.Type, Server: info.Server,
+			MemBytes: info.MemBytes, Pinned: info.Pinned, LastMoved: info.LastMoved,
+			Props: map[string][]actor.Ref{},
+		}
+		for _, name := range p.rt.PropNames(info.Ref) {
+			ai.Props[name] = p.rt.Props(info.Ref, name)
+		}
+		if m.Type.MemMB > 0 {
+			ai.MemPerc = float64(ai.MemBytes) / float64(m.Type.MemMB*1024*1024) * 100
+		}
+		id := int(info.Ref.ID)
+		if scope[info.Server] && window > 0 && id < len(p.actorCPU) {
+			ai.CPUTime = p.actorCPU[id]
+			ai.CPUPerc = float64(ai.CPUTime) / (float64(window) * float64(m.Type.VCPUs)) * 100
+			ai.NetBytes = p.actorNet[id]
+			ai.NetPerc = float64(ai.NetBytes) * 8 / 1e6 / window.Seconds() / m.Type.NetMbps * 100
+		}
+		if id < len(p.calls) && len(p.calls[id].recs) > 0 {
+			recs := append([]epl.CallStat(nil), p.calls[id].recs...)
+			sort.Slice(recs, func(i, j int) bool {
+				a, b := &recs[i], &recs[j]
+				if a.Method != b.Method {
+					return a.Method < b.Method
+				}
+				if a.CallerType != b.CallerType {
+					return a.CallerType < b.CallerType
+				}
+				return a.Caller.ID < b.Caller.ID
+			})
+			ai.Calls = recs
+		}
+		actors = append(actors, ai)
+	})
+	byRef := make(map[actor.Ref]*epl.ActorInfo, len(actors))
+	byType := map[string][]*epl.ActorInfo{}
+	for _, a := range actors {
+		byRef[a.Ref] = a
+		byType[a.Type] = append(byType[a.Type], a)
+	}
+	byServer := make(map[cluster.MachineID]*epl.ServerInfo, len(servers))
+	for _, s := range servers {
+		byServer[s.ID] = s
+	}
+	return actors, byRef
+}
+
+// tenKFleet builds a 10k-actor fleet with light messaging and sparse
+// properties — the snapshot-construction workload of the scale experiments.
+func tenKFleet(t *testing.T) *Profiler {
+	t.Helper()
+	k := sim.New(1)
+	c := cluster.New(k, 80, cluster.M1Small)
+	rt := actor.NewRuntime(k, c)
+	p := New(k, c, rt)
+	noop := actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		ctx.Use(50 * sim.Microsecond)
+	})
+	refs := make([]actor.Ref, 10_000)
+	for i := range refs {
+		refs[i] = rt.SpawnOn("Worker", noop, cluster.MachineID(i%80))
+		if i%100 == 0 {
+			rt.SetProp(refs[i], "peer", []actor.Ref{refs[0]})
+		}
+	}
+	cl := actor.NewClient(rt, 0)
+	for i := 0; i < 100; i++ {
+		cl.Send(refs[i], "ping", nil, 256)
+	}
+	k.RunUntilIdle()
+	return p
+}
+
+// The arena's whole point: at 10k actors a pooled snapshot must allocate at
+// least 5x less than the naive per-actor build it replaced (the acceptance
+// bar for the million-actor fleet work; measured ratios are far higher).
+func TestSnapshotAllocs5xUnderNaiveAt10k(t *testing.T) {
+	p := tenKFleet(t)
+	// Warm both arena buffers so the measurement sees steady state.
+	p.Snapshot(nil)
+	p.Snapshot(nil)
+
+	pooled := testing.AllocsPerRun(3, func() { p.Snapshot(nil) })
+	naive := testing.AllocsPerRun(3, func() { naiveSnapshot(p) })
+
+	if pooled == 0 {
+		pooled = 1 // ServerInfos alone should prevent this, but guard the ratio
+	}
+	if ratio := naive / pooled; ratio < 5 {
+		t.Fatalf("pooled snapshot allocates too much: naive=%.0f pooled=%.0f allocs/op (ratio %.1fx, want >=5x)",
+			naive, pooled, ratio)
+	}
+	t.Logf("allocs/op: naive=%.0f pooled=%.0f", naive, pooled)
+}
+
+// The pooled build must report exactly what the naive build reports.
+func TestSnapshotMatchesNaiveReference(t *testing.T) {
+	p := tenKFleet(t)
+	snap := p.Snapshot(nil)
+	actors, byRef := naiveSnapshot(p)
+	if len(snap.Actors) != len(actors) {
+		t.Fatalf("actor count: pooled %d, naive %d", len(snap.Actors), len(actors))
+	}
+	for i, a := range snap.Actors {
+		n := actors[i]
+		if a.Ref != n.Ref || a.Type != n.Type || a.Server != n.Server ||
+			a.CPUTime != n.CPUTime || a.CPUPerc != n.CPUPerc ||
+			a.NetBytes != n.NetBytes || a.MemPerc != n.MemPerc ||
+			len(a.Calls) != len(n.Calls) {
+			t.Fatalf("actor %d diverges: pooled %+v naive %+v", i, *a, *n)
+		}
+		for j := range a.Calls {
+			if a.Calls[j] != n.Calls[j] {
+				t.Fatalf("actor %d call %d diverges: %+v vs %+v", i, j, a.Calls[j], n.Calls[j])
+			}
+		}
+		// The pooled build leaves Props nil for prop-less actors; the naive
+		// build allocated an empty map — contents must still agree.
+		if len(a.Props) != len(n.Props) {
+			t.Fatalf("actor %d props: pooled %d naive %d", i, len(a.Props), len(n.Props))
+		}
+		if ref := byRef[a.Ref]; ref == nil {
+			t.Fatalf("actor %d missing from naive index", i)
+		}
+	}
+}
