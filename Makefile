@@ -7,7 +7,7 @@ GO ?= go
 # bit-exact event/summary determinism at fixed seed — are timing-immune,
 # and a real hot-path regression (e.g. reintroducing per-event boxing)
 # multiplies allocs/op far past any tolerance.
-BENCH_BASELINE ?= BENCH_2026-08-05.json
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 BENCH_TOLERANCE ?= 0.60
 
 # Coverage gate: `make cover` fails when total statement coverage drops
@@ -20,7 +20,7 @@ COVER_PROFILE ?= coverage.out
 # Scratch dir for the trace round-trip smoke test.
 TRACE_SMOKE_DIR ?= .trace-smoke
 
-.PHONY: build test vet race bench bench-quick bench-baseline lint cover trace-smoke verify
+.PHONY: build test vet race bench bench-quick bench-baseline burst-quick lint cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ bench-quick:
 # machine; commit the refreshed JSON alongside the change justifying it).
 bench-baseline:
 	$(GO) run ./cmd/plasma-bench -json -o $(BENCH_BASELINE)
+
+# burst-quick runs the burst/failure robustness family at quick sizes: the
+# flash-crowd sweep across the provisioning spectrum, the chaos-composed
+# flash-during-GEM-crash run, and the burst shape/determinism tests.
+burst-quick:
+	$(GO) run ./cmd/plasma-sim burst_flash burst_chaos
+	$(GO) test -run 'TestBurst' ./internal/experiments/
 
 # lint runs the determinism linter over all simulator and CLI code; any
 # wall-clock read, global math/rand use, or unsorted map-order output fails

@@ -144,6 +144,14 @@ type Runtime struct {
 	inflight   map[ID]*migration
 	failedMigs int
 
+	// MailboxCap, when positive, bounds every actor's mailbox: a delivery
+	// arriving at a full mailbox is shed (dropped; a request's reply
+	// callback simply never fires) instead of growing the queue without
+	// limit — overload degrades gracefully rather than melting down. Zero
+	// keeps the legacy unbounded mailboxes.
+	MailboxCap int
+	shed       int64
+
 	tr *trace.Tracer // nil = migration lifecycle untraced
 }
 
@@ -580,9 +588,18 @@ func (rt *Runtime) send(fromSrv cluster.MachineID, msg Message, to Ref) {
 }
 
 func (rt *Runtime) deliver(inst *instance, msg Message) {
+	if rt.MailboxCap > 0 && len(inst.mailbox) >= rt.MailboxCap {
+		rt.shed++
+		rt.tr.Emit(trace.Record{Kind: trace.KindShed, Server: int32(inst.srv), Target: -1,
+			Actor: uint64(inst.id), Rule: -1, Value: float64(rt.MailboxCap), Detail: msg.Method})
+		return
+	}
 	inst.mailbox = append(inst.mailbox, delivery{msg: msg})
 	rt.pump(inst)
 }
+
+// ShedRequests reports deliveries dropped at full bounded mailboxes.
+func (rt *Runtime) ShedRequests() int64 { return rt.shed }
 
 // pump dispatches the next mailbox message if the actor is free and its
 // machine is in service (a crashed machine processes nothing; queued mail

@@ -61,6 +61,10 @@ type Machine struct {
 	failed   bool
 	decommed bool // permanently removed; Repair must not resurrect it
 
+	bootPending bool                  // provisioned, boot delay still running
+	bootDone    func(*Machine, bool) // pending provision-outcome callback
+	provClass   ProvClass            // class this machine was provisioned through
+
 	active []*work // currently running, len <= VCPUs
 	queue  []*work // waiting for a core
 	freeW  *work   // recycled work structs
@@ -76,6 +80,13 @@ func (m *Machine) Up() bool { return m.up && !m.failed }
 
 // Failed reports whether the machine has crashed.
 func (m *Machine) Failed() bool { return m.failed }
+
+// Booting reports whether the machine is provisioned but still booting.
+func (m *Machine) Booting() bool { return m.bootPending }
+
+// ProvClass reports the provisioning class the machine came from
+// (WarmPool for pre-seeded machines, which never went through a boot).
+func (m *Machine) ProvClass() ProvClass { return m.provClass }
 
 // Decommissioned reports whether the machine has been permanently removed
 // from service.
@@ -269,24 +280,23 @@ func (c *Cluster) newMachine(typ InstanceType) *Machine {
 	return m
 }
 
-// Provision boots a new machine of the given type. The machine is returned
-// immediately but only becomes Up after the type's boot delay; onUp (if
-// non-nil) fires at that point. Returns nil if the fleet is at its cap.
+// Provision boots a new machine of the given type with the legacy
+// constant boot delay. The machine is returned immediately but only
+// becomes Up after the type's boot delay; onUp (if non-nil) fires at that
+// point — and only if the machine was not crashed or decommissioned while
+// booting (a stale boot timer is a no-op). Returns nil if the fleet is at
+// its cap. Callers that need to observe provisioning failure use
+// ProvisionClass with an outcome callback instead.
 func (c *Cluster) Provision(typ InstanceType, onUp func(*Machine)) *Machine {
-	if c.UpCount() >= c.maxSize {
-		return nil
-	}
-	m := c.newMachine(typ)
-	c.provisions++
-	c.tr.Emit(trace.Record{Kind: trace.KindProvision, Server: -1, Target: int32(m.ID), Rule: -1, Detail: typ.Name})
-	c.K.After(typ.Boot, func() {
-		m.up = true
-		c.tr.Emit(trace.Record{Kind: trace.KindMachineUp, Server: -1, Target: int32(m.ID), Rule: -1})
-		if onUp != nil {
-			onUp(m)
+	var done func(*Machine, bool)
+	if onUp != nil {
+		done = func(m *Machine, ok bool) {
+			if ok {
+				onUp(m)
+			}
 		}
-	})
-	return m
+	}
+	return c.ProvisionClass(typ, nil, done)
 }
 
 // OnFail registers a hook invoked synchronously whenever a machine crashes
@@ -295,10 +305,31 @@ func (c *Cluster) OnFail(fn func(MachineID)) { c.onFail = append(c.onFail, fn) }
 
 // Fail crashes a machine: it leaves service immediately, in-flight and
 // queued work is lost, and nothing can execute on it until the experiment
-// explicitly repairs it with Repair. Returns false for unknown/down ids.
+// explicitly repairs it with Repair. A machine still booting may also be
+// crashed: its provision never completes (the pending boot timer becomes
+// a no-op, the outcome callback fires with ok=false) and it is gone for
+// good. Returns false for unknown/already-down ids.
 func (c *Cluster) Fail(id MachineID) bool {
 	m := c.Machine(id)
-	if m == nil || !m.Up() {
+	if m == nil || m.failed || m.decommed {
+		return false
+	}
+	if m.bootPending {
+		// Crash mid-boot: the machine never entered service, so there are
+		// no run queues to drop, no actors to re-home, and nothing for
+		// Repair to restore — it is permanently gone.
+		m.failed = true
+		m.bootPending = false
+		m.decommed = true
+		c.tr.Emit(trace.Record{Kind: trace.KindCrash, Server: int32(id), Target: -1, Rule: -1, Detail: "mid-boot"})
+		done := m.bootDone
+		m.bootDone = nil
+		if done != nil {
+			done(m, false)
+		}
+		return true
+	}
+	if !m.up {
 		return false
 	}
 	m.failed = true
@@ -328,14 +359,31 @@ func (c *Cluster) Repair(id MachineID) bool {
 
 // Decommission removes a machine from service permanently. The caller is
 // responsible for having evacuated it first. A crashed (failed) machine may
-// be decommissioned — it is down either way — but a decommissioned machine
-// can never be repaired back into service.
+// be decommissioned — it is down either way — and so may a machine still
+// booting (the fleet shrank before the boot finished: the pending boot
+// timer becomes a no-op and the provision outcome is failure). A
+// decommissioned machine can never be repaired back into service.
 func (c *Cluster) Decommission(id MachineID) error {
 	m := c.Machine(id)
 	if m == nil {
 		return fmt.Errorf("cluster: no machine %d", id)
 	}
-	if !m.up || m.decommed {
+	if m.decommed {
+		return fmt.Errorf("cluster: machine %d is not up", id)
+	}
+	if m.bootPending {
+		m.bootPending = false
+		m.decommed = true
+		c.decommissions++
+		c.tr.Emit(trace.Record{Kind: trace.KindDecommission, Server: int32(id), Target: -1, Rule: -1, Detail: "mid-boot"})
+		done := m.bootDone
+		m.bootDone = nil
+		if done != nil {
+			done(m, false)
+		}
+		return nil
+	}
+	if !m.up {
 		return fmt.Errorf("cluster: machine %d is not up", id)
 	}
 	m.up = false

@@ -87,6 +87,12 @@ type Config struct {
 	// MinServers bounds scale-in; InstanceType is what scale-out provisions.
 	MinServers   int
 	InstanceType cluster.InstanceType
+	// ProvSpecs, when non-empty, is the provisioning spectrum scale-out
+	// draws from (warm pool, container, VM, ...). Classes are tried in
+	// policy-preference order (a `provclass` rule), then spec order,
+	// falling to the next class when a pool is exhausted. Empty keeps the
+	// legacy single-constant-boot provisioner.
+	ProvSpecs []cluster.ProvSpec
 	// DefaultUpper is the admission bound used when a rule states no upper
 	// threshold.
 	DefaultUpper float64
@@ -176,6 +182,9 @@ type Stats struct {
 	// because the admitted transfer never started (lost QREPLY or period
 	// rollover before the source acted).
 	ReleasedReservations int
+	// FailedProvisions counts scale-out provisions that never reached Up
+	// (boot retries exhausted, or crashed/decommissioned mid-boot).
+	FailedProvisions int
 }
 
 // Manager wires the EMR to an application: policy, profiler, cluster, and
@@ -213,6 +222,12 @@ type Manager struct {
 	running bool
 	timer   *sim.Timer // reusable tick timer; re-armed each period
 	booting int        // provisioned machines not yet up (scale-out cooldown)
+
+	// provSpecs is the manager's mutable copy of Cfg.ProvSpecs (warm-pool
+	// capacity depletes); provPref is the class preference the policy's
+	// provclass rules last expressed, refreshed at every GEM evaluation.
+	provSpecs []cluster.ProvSpec
+	provPref  []cluster.ProvClass
 
 	chaosI chaos.Interceptor // nil = reliable control plane
 
@@ -331,6 +346,11 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		reserved: make(map[cluster.MachineID]actor.Ref),
 		resEpoch: make(map[cluster.MachineID]uint64),
 		draining: make(map[cluster.MachineID]bool),
+	}
+	// Copy the provisioning spectrum: specs are mutable (warm-pool
+	// capacity depletes), and the caller's slice must stay pristine.
+	if len(m.Cfg.ProvSpecs) > 0 {
+		m.provSpecs = append([]cluster.ProvSpec(nil), m.Cfg.ProvSpecs...)
 	}
 	if pol != nil {
 		m.PolicyDiagnostics = lint.AnalyzePolicy(pol, nil)
@@ -650,6 +670,18 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 		obs = &evalObs{m: m, parent: gemEvalID, tick: int32(tickIdx), ctx: gemName(g.id)}
 	}
 	res := epl.EvaluateObserved(m.Pol, gemView, true, false, obs)
+	if len(res.ProvClass) > 0 {
+		// Refresh the scale-out class preference from the provclass rules
+		// that fired this period (rule order = preference order).
+		m.provPref = m.provPref[:0]
+		for _, pi := range res.ProvClass {
+			for _, name := range pi.Classes {
+				if pc, ok := cluster.ProvClassFromString(name); ok {
+					m.provPref = append(m.provPref, pc)
+				}
+			}
+		}
+	}
 	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, gemView, res)
 	g.allOver = allOver
 	g.allUnder = allUnder

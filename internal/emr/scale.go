@@ -42,7 +42,7 @@ func (m *Manager) tryScaleOut(g *gem, need int, parent uint64) {
 			Value: float64(need), Detail: "agree=" + strconv.Itoa(agree) + "/" + strconv.Itoa(voters)})
 	}
 	for m.booting < need {
-		mach := m.C.Provision(m.Cfg.InstanceType, func(*cluster.Machine) { m.booting-- })
+		mach := m.provisionNext()
 		if mach == nil {
 			return
 		}
@@ -50,6 +50,62 @@ func (m *Manager) tryScaleOut(g *gem, need int, parent uint64) {
 		m.Stats.ScaleOuts++
 	}
 }
+
+// provisionNext boots one machine for scale-out. With a provisioning
+// spectrum configured it walks the class preference order — the policy's
+// provclass rules first, then spec order — falling to the next class when
+// a warm pool is exhausted; without one it uses the legacy constant-boot
+// provisioner. Either way the outcome callback decrements the booting
+// counter on success AND failure: a machine crashed or decommissioned
+// mid-boot (or whose boot retries are exhausted) must not suppress
+// scale-out forever.
+func (m *Manager) provisionNext() *cluster.Machine {
+	done := func(_ *cluster.Machine, ok bool) {
+		m.booting--
+		if !ok {
+			m.Stats.FailedProvisions++
+		}
+	}
+	if len(m.provSpecs) == 0 {
+		return m.C.ProvisionClass(m.Cfg.InstanceType, nil, done)
+	}
+	for _, i := range m.provOrder() {
+		spec := &m.provSpecs[i]
+		if !spec.Available() {
+			continue
+		}
+		if mach := m.C.ProvisionClass(m.Cfg.InstanceType, spec, done); mach != nil {
+			return mach
+		}
+	}
+	return nil
+}
+
+// provOrder indexes m.provSpecs in preference order: classes the policy's
+// provclass rules named (in rule order) first, then the rest in spec
+// order.
+func (m *Manager) provOrder() []int {
+	order := make([]int, 0, len(m.provSpecs))
+	used := make([]bool, len(m.provSpecs))
+	for _, pc := range m.provPref {
+		for i := range m.provSpecs {
+			if !used[i] && m.provSpecs[i].Class == pc {
+				used[i] = true
+				order = append(order, i)
+			}
+		}
+	}
+	for i := range m.provSpecs {
+		if !used[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// ProvSpecs exposes the manager's live provisioning spectrum (warm-pool
+// capacities deplete as the run provisions), for experiment reporting.
+func (m *Manager) ProvSpecs() []cluster.ProvSpec { return m.provSpecs }
 
 // tryScaleIn drains the emptiest of the GEM's servers after a corroborating
 // majority vote, migrating its actors away; the server is decommissioned

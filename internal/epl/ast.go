@@ -256,6 +256,7 @@ const (
 	KindColocate
 	KindSeparate
 	KindPin
+	KindProvClass
 )
 
 func (k BehaviorKind) String() string {
@@ -270,13 +271,19 @@ func (k BehaviorKind) String() string {
 		return "separate"
 	case KindPin:
 		return "pin"
+	case KindProvClass:
+		return "provclass"
 	}
 	return "beh?"
 }
 
 // IsResource reports whether the behavior yields a resource elasticity rule
 // [r-r] (handled by GEMs) rather than an interaction rule [r-i] (LEMs).
-func (k BehaviorKind) IsResource() bool { return k == KindBalance || k == KindReserve }
+// provclass is GEM-side: it steers the scale-out decision, which only GEMs
+// make.
+func (k BehaviorKind) IsResource() bool {
+	return k == KindBalance || k == KindReserve || k == KindProvClass
+}
 
 // BalanceBeh is balance({atype...}, res).
 type BalanceBeh struct {
@@ -331,6 +338,20 @@ type PinBeh struct {
 func (*PinBeh) behNode()           {}
 func (*PinBeh) Kind() BehaviorKind { return KindPin }
 func (b *PinBeh) String() string   { return fmt.Sprintf("pin(%s)", b.Actor) }
+
+// ProvClassBeh is provclass({class, ...}): when the rule fires, scale-out
+// prefers the named provisioning classes (warm, container, vm) in order,
+// falling to the remaining spectrum when a pool is exhausted.
+type ProvClassBeh struct {
+	Classes []string
+	Pos     Pos
+}
+
+func (*ProvClassBeh) behNode()           {}
+func (*ProvClassBeh) Kind() BehaviorKind { return KindProvClass }
+func (b *ProvClassBeh) String() string {
+	return fmt.Sprintf("provclass({%s})", strings.Join(b.Classes, ", "))
+}
 
 // Rule is one elasticity rule: cond => beh; beh; ... ;
 type Rule struct {

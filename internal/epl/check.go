@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"plasma/internal/cluster"
 )
 
 // Schema describes the application program's actor classes (Fig. 3.I) for
@@ -189,6 +191,13 @@ func checkRule(r *Rule, schema *Schema) error {
 				return err
 			}
 			markVar(beh.Actor, usedInBeh)
+		case *ProvClassBeh:
+			for _, c := range beh.Classes {
+				if _, ok := cluster.ProvClassFromString(c); !ok {
+					return errAt(beh.Pos, "unknown provisioning class %q (expected one of %s)",
+						c, strings.Join(cluster.ProvClassNames(), ", "))
+				}
+			}
 		}
 	}
 	return nil

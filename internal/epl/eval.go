@@ -10,11 +10,12 @@ import (
 // Intents are the concrete elasticity demands produced by evaluating a
 // policy against a snapshot. The EMR turns them into migration actions.
 type Intents struct {
-	Balance  []BalanceIntent
-	Reserve  []ReserveIntent
-	Colocate []PairIntent
-	Separate []PairIntent
-	Pin      []PinIntent
+	Balance   []BalanceIntent
+	Reserve   []ReserveIntent
+	Colocate  []PairIntent
+	Separate  []PairIntent
+	Pin       []PinIntent
+	ProvClass []ProvClassIntent
 }
 
 // BalanceIntent asks for workload balancing of the listed types on the
@@ -64,6 +65,13 @@ type PairIntent struct {
 type PinIntent struct {
 	Rule  *Rule
 	Actor actor.Ref
+}
+
+// ProvClassIntent asks scale-out to prefer the named provisioning classes
+// (in order) while the rule's condition holds.
+type ProvClassIntent struct {
+	Rule    *Rule
+	Classes []string
 }
 
 // maxBindings caps binding enumeration per rule as a runaway guard.
@@ -145,16 +153,18 @@ func condValues(c Cond, snap *Snapshot, b *binding, ctxSrv *ServerInfo) []Featur
 // dedup suppresses duplicate intents arising from multiple bindings of the
 // same rule (e.g. a folder with two files triggers reserve(folder) once).
 type dedup struct {
-	pairs   map[[3]uint64]bool
-	pins    map[actor.Ref]bool
-	reserve map[actor.Ref]bool
+	pairs     map[[3]uint64]bool
+	pins      map[actor.Ref]bool
+	reserve   map[actor.Ref]bool
+	provclass map[*Rule]bool
 }
 
 func newDedup() *dedup {
 	return &dedup{
-		pairs:   map[[3]uint64]bool{},
-		pins:    map[actor.Ref]bool{},
-		reserve: map[actor.Ref]bool{},
+		pairs:     map[[3]uint64]bool{},
+		pins:      map[actor.Ref]bool{},
+		reserve:   map[actor.Ref]bool{},
+		provclass: map[*Rule]bool{},
 	}
 }
 
@@ -535,6 +545,12 @@ func emitBehaviors(pol *Policy, rule *Rule, snap *Snapshot, b *binding, violatin
 			if a := b.lookup(bh.Actor); a != nil && !dd.pins[a.Ref] {
 				dd.pins[a.Ref] = true
 				out.Pin = append(out.Pin, PinIntent{Rule: rule, Actor: a.Ref})
+			}
+		case *ProvClassBeh:
+			// One intent per rule regardless of how many contexts fired.
+			if !dd.provclass[rule] {
+				dd.provclass[rule] = true
+				out.ProvClass = append(out.ProvClass, ProvClassIntent{Rule: rule, Classes: bh.Classes})
 			}
 		}
 	}

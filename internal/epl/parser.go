@@ -4,6 +4,7 @@ package epl
 // '=>' starts another behavior rather than a new rule.
 var behaviorKeywords = map[string]bool{
 	"balance": true, "reserve": true, "colocate": true, "separate": true, "pin": true,
+	"provclass": true,
 }
 
 // Parse compiles EPL source into a Policy. Variables declared inline
@@ -452,6 +453,33 @@ func (p *parser) parseBehavior() (Behavior, error) {
 			return nil, err
 		}
 		return &PinBeh{Actor: a, Pos: t.pos}, nil
+	case "provclass":
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		var classes []string
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			classes = append(classes, id.text)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &ProvClassBeh{Classes: classes, Pos: t.pos}, nil
 	}
-	return nil, errAt(t.pos, "expected behavior (balance, reserve, colocate, separate, pin), found %q", t.text)
+	return nil, errAt(t.pos, "expected behavior (balance, reserve, colocate, separate, pin, provclass), found %q", t.text)
 }

@@ -238,6 +238,14 @@ var Registry = map[string]func(Config) *Result{
 	// fleet sizes the testbed could not reach; see EXPERIMENTS.md).
 	"scale":      Scale,
 	"scale_snap": ScaleSnap,
+
+	// Burst/failure robustness family: provisioning spectrum vs flash
+	// crowds, diurnal waves, correlated region failover, and a flash crowd
+	// composed with a GEM crash (see EXPERIMENTS.md).
+	"burst_flash":   BurstFlash,
+	"burst_diurnal": BurstDiurnal,
+	"burst_region":  BurstRegion,
+	"burst_chaos":   BurstChaos,
 }
 
 // IDs returns the registered experiment ids in order.

@@ -177,7 +177,7 @@ func TestRenderIncludesHeaderAndSummary(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("registered experiments = %d, want 16 (every table and figure, chaos, and the scale family)", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("registered experiments = %d, want 20 (every table and figure, chaos, the scale family, and the burst family)", len(ids))
 	}
 }

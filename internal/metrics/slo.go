@@ -1,0 +1,74 @@
+package metrics
+
+// SLOTracker integrates SLO-violation time: feed it a stream of
+// (time, value) observations and a threshold, and it accumulates the
+// seconds during which the observed signal exceeded the threshold,
+// treating the signal as a step function between observations (each
+// observation's value holds until the next). Naskos et al. motivate
+// quantifying elasticity guarantees this way — violation *time*, not just
+// convergence plots.
+//
+// Time is a plain float64 (seconds) so the package stays free of
+// simulator imports; callers pass sim.Time.Seconds().
+type SLOTracker struct {
+	Threshold float64
+
+	lastT      float64
+	lastV      float64
+	seen       bool
+	violating  bool
+	violSec    float64
+	episodes   int
+	worstV     float64
+	finishedAt float64
+}
+
+// NewSLOTracker creates a tracker for the given violation threshold:
+// observed values strictly above it count as violating.
+func NewSLOTracker(threshold float64) *SLOTracker {
+	return &SLOTracker{Threshold: threshold}
+}
+
+// Observe records the signal's value at time t (seconds). Observations
+// must be fed in nondecreasing time order.
+func (s *SLOTracker) Observe(t, v float64) {
+	if s.seen {
+		s.accumulate(t)
+	}
+	wasViolating := s.violating
+	s.lastT, s.lastV, s.seen = t, v, true
+	s.violating = v > s.Threshold
+	if s.violating && !wasViolating {
+		s.episodes++
+	}
+	if v > s.worstV {
+		s.worstV = v
+	}
+}
+
+// Finish closes the integration window at time t, crediting the interval
+// since the last observation. Idempotent for the same t.
+func (s *SLOTracker) Finish(t float64) {
+	if s.seen {
+		s.accumulate(t)
+		s.lastT = t
+	}
+	s.finishedAt = t
+}
+
+func (s *SLOTracker) accumulate(t float64) {
+	if s.violating && t > s.lastT {
+		s.violSec += t - s.lastT
+	}
+}
+
+// ViolationSeconds reports the accumulated time the signal spent above
+// the threshold (through the last Observe or Finish).
+func (s *SLOTracker) ViolationSeconds() float64 { return s.violSec }
+
+// Episodes reports how many distinct violation episodes began (entries
+// from compliant to violating).
+func (s *SLOTracker) Episodes() int { return s.episodes }
+
+// Worst reports the largest value ever observed (0 before observations).
+func (s *SLOTracker) Worst() float64 { return s.worstV }

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLOTrackerIntegratesViolationTime(t *testing.T) {
+	s := NewSLOTracker(100) // e.g. 100 ms latency SLO
+	s.Observe(0, 50)        // compliant 0..10
+	s.Observe(10, 150)      // violating 10..25
+	s.Observe(25, 80)       // compliant 25..40
+	s.Observe(40, 200)      // violating 40..45
+	s.Finish(45)
+
+	if got := s.ViolationSeconds(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("ViolationSeconds = %v, want 20", got)
+	}
+	if s.Episodes() != 2 {
+		t.Errorf("Episodes = %d, want 2", s.Episodes())
+	}
+	if s.Worst() != 200 {
+		t.Errorf("Worst = %v, want 200", s.Worst())
+	}
+}
+
+func TestSLOTrackerNoViolations(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 10)
+	s.Observe(5, 99)
+	s.Finish(10)
+	if s.ViolationSeconds() != 0 || s.Episodes() != 0 {
+		t.Errorf("clean signal reported %v violation-seconds, %d episodes",
+			s.ViolationSeconds(), s.Episodes())
+	}
+}
+
+func TestSLOTrackerBoundaryIsCompliant(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 100) // exactly at the threshold: compliant
+	s.Finish(10)
+	if s.ViolationSeconds() != 0 {
+		t.Errorf("threshold-equal value counted as violating")
+	}
+}
+
+func TestSLOTrackerEmptyFinish(t *testing.T) {
+	s := NewSLOTracker(1)
+	s.Finish(100) // no observations: nothing to integrate
+	if s.ViolationSeconds() != 0 {
+		t.Errorf("empty tracker reported violations")
+	}
+}

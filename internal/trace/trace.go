@@ -91,6 +91,15 @@ const (
 	// KindChaos is a chaos-layer injection: a message fault verdict or a
 	// scheduled control-plane fault (Detail carries the injector's line).
 	KindChaos
+	// KindProvFail is a provisioning attempt failing before the machine
+	// reaches Up (Detail names the provisioning class, Value the attempt).
+	KindProvFail
+	// KindProvRetry is a failed provision being rescheduled with capped
+	// exponential backoff (Value is the backoff delay in µs).
+	KindProvRetry
+	// KindShed is an overloaded actor rejecting a delivery because its
+	// bounded mailbox is full (Value is the mailbox capacity).
+	KindShed
 	numKinds
 )
 
@@ -99,7 +108,7 @@ var kindNames = [numKinds]string{
 	"stale-report", "gem-eval", "propose", "resolve-drop", "query",
 	"admit", "deny", "transfer", "commit", "rollback", "scale-out",
 	"scale-in", "provision", "machine-up", "decommission", "crash",
-	"repair", "chaos",
+	"repair", "chaos", "prov-fail", "prov-retry", "shed",
 }
 
 func (k Kind) String() string {
