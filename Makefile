@@ -20,7 +20,7 @@ COVER_PROFILE ?= coverage.out
 # Scratch dir for the trace round-trip smoke test.
 TRACE_SMOKE_DIR ?= .trace-smoke
 
-.PHONY: build test vet race bench bench-quick bench-baseline burst-quick lint cover trace-smoke verify
+.PHONY: build test vet race bench bench-quick bench-baseline burst-quick lint lint-model cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ burst-quick:
 lint:
 	$(GO) run ./cmd/plasma-lint -Werror ./internal/... ./cmd/...
 
+# lint-model runs the offline policy model checker: the model package's
+# corpus verdicts and the shipped-policy gate (every internal/apps and
+# examples/ policy must be EPL2xx-clean), then the CLI end to end with
+# -model -Werror over the clean corpus policies (any new model finding —
+# oscillation, overload dead state, pool dead end, assert violation —
+# fails the build).
+lint-model:
+	$(GO) test -count=1 ./internal/lint/model/
+	$(GO) run ./cmd/plasma-lint -model -Werror internal/lint/testdata/clean_*.epl internal/lint/testdata/assert_ok.epl
+
 # cover measures total statement coverage and fails below COVER_FLOOR.
 # CI uploads $(COVER_PROFILE) as an artifact for inspection.
 cover:
@@ -86,6 +96,7 @@ trace-smoke:
 
 # verify is the pre-merge gate: everything compiles, vet is clean, the full
 # suite passes under the race detector, the determinism lint is clean, the
-# quick-scale sweep shows no perf regression or determinism drift against
-# the checked-in bench baseline, and the decision tracer round-trips.
-verify: build vet race lint bench-quick trace-smoke
+# policy model checker passes every shipped policy, the quick-scale sweep
+# shows no perf regression or determinism drift against the checked-in
+# bench baseline, and the decision tracer round-trips.
+verify: build vet race lint lint-model bench-quick trace-smoke

@@ -6,12 +6,21 @@
 //
 // Usage:
 //
-//	plasma-lint [-schema app.json] [-json] [-Werror] [target...]
+//	plasma-lint [-schema app.json] [-json] [-Werror] [-model] [-explain] [target...]
 //
 // Targets ending in .epl are linted as policies; directories, dir/...
 // patterns, and .go files are linted for determinism. With no targets it
 // lints ./internal/... and ./cmd/... — the repository invariant `make
 // verify` enforces.
+//
+// -model additionally runs the offline model checker on each .epl target:
+// the policy is compiled into a finite transition system over abstract
+// scaling states (fleet size × provisioning-pool occupancy × discretized
+// load) closed by a workload envelope, and checked for oscillation
+// (EPL200), overload dead states (EPL201), unreachable rules (EPL202),
+// warm-pool dead ends (EPL203), and //lint:assert probabilistic bounds
+// (EPL210). -explain (implies -model) prints each finding's concrete
+// counterexample path tick by tick.
 //
 // Exit status: 0 clean, 1 findings at error severity (or warning severity
 // with -Werror), 2 usage or I/O failure.
@@ -27,6 +36,7 @@ import (
 
 	"plasma/internal/epl"
 	"plasma/internal/lint"
+	"plasma/internal/lint/model"
 )
 
 func main() {
@@ -39,8 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fl.Bool("json", false, "emit findings as JSON")
 	werror := fl.Bool("Werror", false, "exit nonzero on warnings, not only errors")
 	schemaPath := fl.String("schema", "", "application schema JSON for policy checking")
+	doModel := fl.Bool("model", false, "run the scaling-state model checker on .epl targets")
+	explain := fl.Bool("explain", false, "print counterexample paths for model-checker findings (implies -model)")
 	if err := fl.Parse(args); err != nil {
 		return 2
+	}
+	if *explain {
+		*doModel = true
 	}
 
 	targets := fl.Args()
@@ -63,8 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var diags []lint.Diagnostic
+	var findings []model.Finding
 	for _, path := range epls {
 		diags = append(diags, lintPolicyFile(path, schema)...)
+		if *doModel {
+			fs := modelPolicyFile(path, schema)
+			findings = append(findings, fs...)
+			diags = append(diags, model.Diagnostics(fs)...)
+		}
 	}
 	if len(gos) > 0 {
 		files, err := lint.ExpandGoPatterns(gos)
@@ -86,9 +107,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enc.SetIndent("", "  ")
 		out := struct {
 			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+			Model       []model.Finding   `json:"model,omitempty"`
 		}{Diagnostics: diags}
 		if out.Diagnostics == nil {
 			out.Diagnostics = []lint.Diagnostic{}
+		}
+		if *doModel {
+			out.Model = findings
+			if out.Model == nil {
+				out.Model = []model.Finding{}
+			}
 		}
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -97,6 +125,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
+		}
+		if *explain {
+			for _, f := range findings {
+				if len(f.Path) == 0 {
+					continue
+				}
+				fmt.Fprintf(stdout, "\ncounterexample for %s (%s):\n%s", f.File, f.Code, model.FormatPath(f))
+			}
 		}
 	}
 
@@ -136,6 +172,28 @@ func lintPolicyFile(path string, schema *epl.Schema) []lint.Diagnostic {
 		diags[i].File = path
 	}
 	return diags
+}
+
+// modelPolicyFile runs the scaling-state model checker over one .epl
+// file. Parse and check failures are skipped silently — lintPolicyFile
+// already reported them as EPL001 diagnostics.
+func modelPolicyFile(path string, schema *epl.Schema) []model.Finding {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	pol, err := epl.Parse(string(data))
+	if err != nil {
+		return nil
+	}
+	if _, err := epl.Check(pol, schema); err != nil {
+		return nil
+	}
+	findings := model.Check(pol, schema)
+	for i := range findings {
+		findings[i].File = path
+	}
+	return findings
 }
 
 // loadSchema reads the plasmac-format schema file ({"actors": [...]}), or

@@ -64,6 +64,32 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
+// TestGoldenModel locks the model checker's CLI output for the seeded
+// model-checker corpus: the plain -model diagnostic lines and the full
+// -explain counterexample rendering.
+func TestGoldenModel(t *testing.T) {
+	cases := []string{
+		"osc_cross_rule", "dead_overload", "unreachable_scale",
+		"deadend_warmpool", "assert_viol", "bad_assert", "clean_provclass",
+	}
+	for _, name := range cases {
+		path := filepath.Join(corpusDir, name+".epl")
+		t.Run(name, func(t *testing.T) {
+			checkGolden(t, name+".model", runGolden(t, "-model", path))
+		})
+		t.Run(name+"_explain", func(t *testing.T) {
+			checkGolden(t, name+".explain", runGolden(t, "-explain", path))
+		})
+	}
+}
+
+// TestGoldenModelJSON locks the machine-readable counterexample shape —
+// downstream tools replay these paths through the simulator.
+func TestGoldenModelJSON(t *testing.T) {
+	got := runGolden(t, "-model", "-json", filepath.Join(corpusDir, "osc_cross_rule.epl"))
+	checkGolden(t, "osc_cross_rule.model.json", got)
+}
+
 // TestGoldenJSON locks the machine-readable output shape.
 func TestGoldenJSON(t *testing.T) {
 	got := runGolden(t, "-json", filepath.Join(corpusDir, "shadow_true.epl"))

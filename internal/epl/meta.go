@@ -1,0 +1,74 @@
+package epl
+
+// meta.go exports the condition/behavior metadata offline analyzers need.
+// The lint interval passes and the scaling-state model checker
+// (internal/lint/model) compile policies into abstract transition systems;
+// they must see exactly the thresholds and preference chains the EMR's
+// planner acts on, so these accessors wrap the evaluator's own helpers
+// rather than re-deriving them.
+
+// WalkCmps calls f for every comparison atom in c, in syntactic order.
+func WalkCmps(c Cond, f func(*CmpCond)) {
+	switch cond := c.(type) {
+	case *AndCond:
+		WalkCmps(cond.L, f)
+		WalkCmps(cond.R, f)
+	case *OrCond:
+		WalkCmps(cond.L, f)
+		WalkCmps(cond.R, f)
+	case *CmpCond:
+		f(cond)
+	}
+}
+
+// CondBounds scans a condition for server-resource comparisons on res and
+// derives the upper (from > / >=) and lower (from < / <=) thresholds,
+// NaN when absent — the same extraction planBalance runs when the rule
+// fires, so offline models scale exactly where the EMR would.
+func CondBounds(c Cond, res Resource) (upper, lower float64) {
+	return extractBounds(c, res)
+}
+
+// ProvClassChain returns the provisioning-class preference chain the
+// rule's provclass behaviors demand, in behavior order (nil when the rule
+// has none). Class names are as written; Check has already validated them
+// against the cluster's spectrum.
+func (r *Rule) ProvClassChain() []string {
+	var chain []string
+	for _, b := range r.Behaviors {
+		if pb, ok := b.(*ProvClassBeh); ok {
+			chain = append(chain, pb.Classes...)
+		}
+	}
+	return chain
+}
+
+// BindingRefs reports the actor references the evaluator must bind to
+// concrete actors before the rule can fire. A rule with binding refs never
+// fires on server-wide state alone, so abstract models that track no
+// individual actors cannot prove it enabled — only possibly enabled.
+func (r *Rule) BindingRefs() []*ActorRef {
+	return ruleBindingRefs(r)
+}
+
+// ServerPercThresholds collects the distinct server.<res>.perc comparison
+// values across the whole policy, unordered. Model checkers discretize the
+// utilization axis at these points so abstract states never straddle a
+// rule boundary.
+func (p *Policy) ServerPercThresholds(res Resource) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, r := range p.Rules {
+		WalkCmps(r.Cond, func(c *CmpCond) {
+			rf, ok := c.Feat.(*ResFeature)
+			if !ok || !rf.Server || rf.Res != res || c.Stat != Perc {
+				return
+			}
+			if !seen[c.Val] {
+				seen[c.Val] = true
+				out = append(out, c.Val)
+			}
+		})
+	}
+	return out
+}

@@ -44,7 +44,11 @@ func (f *burstFrontend) Receive(ctx *actor.Context, msg actor.Message) {
 type burstOpts struct {
 	servers   int // initial app servers (client site is one more)
 	frontends int
-	policy    string
+	// class is the actor class the frontends are spawned as, so the run's
+	// policy can address them ("Frontend" when empty; the counterexample
+	// replays use "Worker" to match the lint corpus).
+	class  string
+	policy string
 	specs     []cluster.ProvSpec
 	numGEMs   int
 	period    sim.Duration
@@ -97,9 +101,13 @@ func burstRun(cfg Config, seed int64, o burstOpts) burstOut {
 	rt.MailboxCap = o.mailboxCap
 	prof := profile.New(k, c, rt)
 
+	class := o.class
+	if class == "" {
+		class = "Frontend"
+	}
 	fes := make([]actor.Ref, o.frontends)
 	for i := range fes {
-		fes[i] = rt.SpawnOn("Frontend", &burstFrontend{cost: o.reqCost}, cluster.MachineID(i%o.servers))
+		fes[i] = rt.SpawnOn(class, &burstFrontend{cost: o.reqCost}, cluster.MachineID(i%o.servers))
 	}
 
 	m := emr.New(k, c, rt, prof, epl.MustParse(o.policy), emr.Config{

@@ -29,6 +29,19 @@ var corpusWant = map[string][]string{
 	"unsat_branch.epl":             {CodeUnsat},
 	"unsat_eq.epl":                 {CodeUnsat, CodeFlapping},
 	"unsat_interval.epl":           {CodeUnsat},
+
+	// Provclass-aware passes (the model checker's own verdicts for these
+	// live in internal/lint/model's corpus test).
+	"clean_provclass.epl":   {},
+	"flap_provclass.epl":    {CodeFlapping}, // guarded pair: provclass rule's trigger vs balance rule's
+	"shadow_provclass.epl":  {CodeShadowed}, // conflicting preference chains in nested regions
+	"osc_cross_rule.epl":    {},             // EPL010-clean: +5 band — only the model checker sees the cycle
+	"dead_overload.epl":     {},
+	"unreachable_scale.epl": {},
+	"deadend_warmpool.epl":  {},
+	"assert_ok.epl":         {},
+	"assert_viol.epl":       {},
+	"bad_assert.epl":        {}, // the EPL211 annotation error is a model-checker finding
 }
 
 func analyzeFile(t *testing.T, path string) []Diagnostic {

@@ -9,7 +9,9 @@ import (
 )
 
 // Diagnostic codes of the EPL passes. Conflict warnings from epl.Check use
-// the EPL1xx range; the analyzer's own passes use EPL0xx.
+// the EPL1xx range; the analyzer's own passes use EPL0xx; the scaling-state
+// model checker (internal/lint/model, run via plasma-lint -model) emits the
+// EPL2xx range. All codes are registered here so the ranges stay disjoint.
 const (
 	CodeParse       = "EPL000" // source does not parse
 	CodeUnsat       = "EPL001" // condition (or a branch of it) can never be true
@@ -21,6 +23,15 @@ const (
 	CodeNondetTime  = "DET001" // wall-clock time in deterministic code
 	CodeNondetRand  = "DET002" // global math/rand in deterministic code
 	CodeNondetRange = "DET003" // unsorted map iteration feeding output
+
+	// Model-checker findings (internal/lint/model). Each carries a concrete
+	// counterexample path through the abstract scaling-state system.
+	CodeOscillation   = "EPL200" // reachable scale-out/scale-in cycle at constant load
+	CodeOverloadDead  = "EPL201" // reachable saturated state where no rule can fire
+	CodeUnreachRule   = "EPL202" // rule never enabled in any reachable scaling state
+	CodePoolDeadEnd   = "EPL203" // provclass preference chain exhausts with no fallthrough
+	CodeProbBound     = "EPL210" // //lint:assert probabilistic bound violated
+	CodeBadAnnotation = "EPL211" // malformed //lint:envelope or //lint:assert annotation
 )
 
 // Pass is one independently runnable policy analysis.
@@ -201,18 +212,8 @@ func singleFeature(c epl.Cond) (string, featIv, bool) {
 	return "", featIv{}, false
 }
 
-func walkCmps(c epl.Cond, f func(*epl.CmpCond)) {
-	switch cond := c.(type) {
-	case *epl.AndCond:
-		walkCmps(cond.L, f)
-		walkCmps(cond.R, f)
-	case *epl.OrCond:
-		walkCmps(cond.L, f)
-		walkCmps(cond.R, f)
-	case *epl.CmpCond:
-		f(cond)
-	}
-}
+// walkCmps is epl.WalkCmps; the alias keeps the passes' call sites short.
+func walkCmps(c epl.Cond, f func(*epl.CmpCond)) { epl.WalkCmps(c, f) }
 
 // ---- pass 2: flapping detection ----
 
@@ -310,6 +311,11 @@ func resourceTypes(pol *epl.Policy, r *epl.Rule) map[string]bool {
 			for _, x := range pol.Expand(beh.Actor.Type()) {
 				set[x] = true
 			}
+		case *epl.ProvClassBeh:
+			// provclass steers the fleet-wide scale-out decision, so its
+			// triggers pair with every resource rule's: a provclass-guarded
+			// scale-up threshold can flap against any scale-down threshold.
+			set[epl.AnyType] = true
 		}
 	}
 	return set
@@ -418,6 +424,7 @@ type behSummary struct {
 	pinned   map[string]bool
 	balanced map[string]bool
 	reserved map[string]bool
+	prov     []string // provclass preference chain, behavior order
 }
 
 func summarize(pol *epl.Policy, r *epl.Rule) behSummary {
@@ -458,6 +465,8 @@ func summarize(pol *epl.Policy, r *epl.Rule) behSummary {
 			}
 		case *epl.ReserveBeh:
 			addSet(s.reserved, beh.Actor.Type())
+		case *epl.ProvClassBeh:
+			s.prov = append(s.prov, beh.Classes...)
 		}
 	}
 	return s
@@ -488,7 +497,26 @@ func behaviorsClash(pol *epl.Policy, ri, rj *epl.Rule) (string, bool) {
 			return clash.desc + " of type " + overlapName(clash.x, clash.y), true
 		}
 	}
+	// Two provclass chains in the same region fight over the scale-out
+	// preference order: the EMR rebuilds it from fired rules every period,
+	// so the shadowed rule's chain is overridden (or overrides) silently.
+	if len(a.prov) > 0 && len(b.prov) > 0 && !equalChains(a.prov, b.prov) {
+		return fmt.Sprintf("provclass preference {%s} vs {%s}",
+			strings.Join(a.prov, ", "), strings.Join(b.prov, ", ")), true
+	}
 	return "", false
+}
+
+func equalChains(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func pairsIntersect(a, b map[string]map[string]bool) (string, bool) {

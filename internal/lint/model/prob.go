@@ -1,0 +1,142 @@
+package model
+
+import (
+	"fmt"
+
+	"plasma/internal/lint"
+)
+
+// checkAssert verifies one //lint:assert P(event, horizon=H) < p bound by
+// bounded value iteration over the DTMC: p_k(s) is the probability the
+// event occurs within k periods starting from s, with event states
+// absorbing. The computed P from the initial state is compared against
+// the asserted bound; a violation carries the greedy highest-probability
+// witness path.
+func (sys *System) checkAssert(a Assert) []Finding {
+	p := sys.eventProb(a.Event, a.Horizon)
+	prob := p[a.Horizon][0] // state 0 is the initial state
+	violated := prob >= a.Bound
+	if !a.Strict {
+		violated = prob > a.Bound
+	}
+	if !violated {
+		return nil
+	}
+	hops := sys.witness(a.Event, a.Horizon, p)
+	steps := sys.renderEdges(hops, 0)
+	op := "<="
+	if a.Strict {
+		op = "<"
+	}
+	return []Finding{{
+		Diagnostic: lint.Diagnostic{
+			Code: lint.CodeProbBound, Severity: lint.Error,
+			Line: a.Line, Col: a.Col,
+			Message: fmt.Sprintf(
+				"probabilistic bound violated: P(%s within %d periods) = %.4f from the initial state (%d servers, load %d), asserted %s %g",
+				a.Event, a.Horizon, prob, sys.Env.InitServers, sys.Env.InitLoad, op, a.Bound),
+			Fix: "loosen the asserted bound, shorten the horizon, or make the policy react earlier",
+		},
+		Path:      steps,
+		CycleFrom: -1,
+	}}
+}
+
+// eventProb returns p[k][id]: the probability the event occurs within k
+// periods from state id. "overload" is a state predicate (absorbing);
+// "scaleout"/"scalein" are transition events.
+func (sys *System) eventProb(event string, horizon int) [][]float64 {
+	n := len(sys.states)
+	p := make([][]float64, horizon+1)
+	for k := range p {
+		p[k] = make([]float64, n)
+	}
+	stateBad := sys.badStates(event)
+	for id := range sys.states {
+		if stateBad != nil && stateBad[id] {
+			p[0][id] = 1
+		}
+	}
+	var actBit action
+	switch event {
+	case EventScaleOut:
+		actBit = actOut
+	case EventScaleIn:
+		actBit = actIn
+	}
+	for k := 1; k <= horizon; k++ {
+		for id := range sys.states {
+			if stateBad != nil && stateBad[id] {
+				p[k][id] = 1
+				continue
+			}
+			acc := 0.0
+			for _, e := range sys.edges[id] {
+				if actBit != 0 && e.act&actBit != 0 {
+					acc += e.prob
+				} else {
+					acc += e.prob * p[k-1][e.to]
+				}
+			}
+			p[k][id] = acc
+		}
+	}
+	return p
+}
+
+// badStates returns the absorbing predicate for state events, nil for
+// transition events.
+func (sys *System) badStates(event string) []bool {
+	if event != EventOverload {
+		return nil
+	}
+	bad := make([]bool, len(sys.states))
+	for id, s := range sys.states {
+		bad[id] = sys.Env.util(int(s.Servers), int(s.Load)) >= sys.Env.OverloadPerc
+	}
+	return bad
+}
+
+// witness follows the locally most probable route to the event: at each
+// step it takes the edge maximizing the remaining-horizon event
+// probability (weighted by the edge's own probability as a tiebreaker).
+func (sys *System) witness(event string, horizon int, p [][]float64) [][2]int {
+	stateBad := sys.badStates(event)
+	var actBit action
+	switch event {
+	case EventScaleOut:
+		actBit = actOut
+	case EventScaleIn:
+		actBit = actIn
+	}
+	var hops [][2]int
+	id := 0
+	for k := horizon; k > 0; k-- {
+		if stateBad != nil && stateBad[id] {
+			break
+		}
+		best, bestScore := -1, -1.0
+		for ei, e := range sys.edges[id] {
+			score := p[k-1][e.to]
+			if actBit != 0 && e.act&actBit != 0 {
+				score = 1
+			}
+			// Weight by edge probability so among equally certain
+			// continuations the likeliest drift is shown.
+			score *= e.prob
+			if score > bestScore {
+				best, bestScore = ei, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		hops = append(hops, [2]int{id, best})
+		e := sys.edges[id][best]
+		if actBit != 0 && e.act&actBit != 0 {
+			break
+		}
+		id = e.to
+	}
+	return hops
+}
