@@ -20,7 +20,7 @@ COVER_PROFILE ?= coverage.out
 # Scratch dir for the trace round-trip smoke test.
 TRACE_SMOKE_DIR ?= .trace-smoke
 
-.PHONY: build test vet race bench bench-quick bench-baseline burst-quick lint lint-model cover trace-smoke verify
+.PHONY: build test vet race bench bench-quick bench-baseline bench-shards burst-quick lint lint-model cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,17 @@ bench-quick:
 # machine; commit the refreshed JSON alongside the change justifying it).
 bench-baseline:
 	$(GO) run ./cmd/plasma-bench -json -o $(BENCH_BASELINE)
+
+# bench-shards proves the sharded kernel: every quick experiment id must be
+# byte-identical (report + trace) at shards=1 vs GOMAXPROCS, race-clean on
+# the sharded scale runs, and the shard-twin sweep must show at least a 2x
+# events/sec speedup on machines with 4+ CPUs (the gate self-disables below
+# that — on 1-2 cores the barrier overhead makes a speedup unmeasurable, so
+# the ratio is reported but not enforced).
+bench-shards:
+	$(GO) test -count=1 -run 'TestShardEquivalenceAllQuickIDs|TestScaleShardTwinsMatch' ./internal/experiments/
+	$(GO) test -race -count=1 -run 'TestScaleShard|TestShardDifferentialRandomized' ./internal/experiments/ ./internal/sim/
+	$(GO) run ./cmd/plasma-bench -min-speedup 2.0 > /dev/null
 
 # burst-quick runs the burst/failure robustness family at quick sizes: the
 # flash-crowd sweep across the provisioning spectrum, the chaos-composed

@@ -8,6 +8,30 @@
 // run real Go code and declare virtual CPU cost via Context.Use; the hosting
 // machine's cores are occupied for that long, producing the CPU, memory, and
 // network signals the paper's elasticity rules react to.
+//
+// # Shard safety
+//
+// On a sharded kernel (sim.Kernel.SetShards > 1) message dispatch and
+// handler execution run on the hosting machine's shard, concurrently with
+// other shards inside one conservative time window. The runtime keeps that
+// safe by partitioning its state along machine homes:
+//
+//   - per-actor state (mailbox, busy, props, memSize) is owned by the
+//     actor's current home and touched only from that home's context;
+//   - cross-machine effects (sends, replies, forwards) are routed through
+//     the hosting machine's sim.Env, whose cross-home floor is the
+//     kernel's lookahead — below the cluster's minimum network latency,
+//     so message timing is unchanged;
+//   - migration bookkeeping (the inflight table, trace emission, counters)
+//     is global state: shard-context code escalates to the global phase
+//     via Env.Schedule(sim.GlobalHome, ...) instead of mutating it;
+//   - shed counts are striped per shard and summed on read.
+//
+// Control-plane entry points — Spawn/SpawnOn, Stop, Migrate/MigrateTraced,
+// RecoverMachine, Client requests — are global-phase APIs: they may be
+// called from timers and experiment harness code but not from inside a
+// handler running on a sharded kernel (the kernel's context guard panics
+// deterministically on misuse).
 package actor
 
 import (
@@ -106,6 +130,11 @@ type instance struct {
 	pendingTr  uint64 // trace parent for the pending migration
 	dead       bool
 
+	// beginQueued marks an escalation from the actor's shard to the global
+	// phase already in flight for the pending migration, so pump (which may
+	// run once per delivery) queues at most one.
+	beginQueued bool
+
 	// migEpoch invalidates in-flight migration steps when the actor is
 	// re-homed (crash recovery) or a newer migration supersedes them.
 	migEpoch uint64
@@ -150,7 +179,9 @@ type Runtime struct {
 	// limit — overload degrades gracefully rather than melting down. Zero
 	// keeps the legacy unbounded mailboxes.
 	MailboxCap int
-	shed       int64
+	// shed is striped per kernel shard (deliver runs on the receiving
+	// machine's shard); ShedRequests sums the stripes.
+	shed []int64
 
 	tr *trace.Tracer // nil = migration lifecycle untraced
 }
@@ -175,13 +206,36 @@ func NewRuntime(k *sim.Kernel, c *cluster.Cluster) *Runtime {
 		SerializePerMB: 5 * sim.Millisecond,
 		actors:         make(map[ID]*instance),
 		inflight:       make(map[ID]*migration),
+		shed:           make([]int64, k.Shards()),
 	}
 	c.OnFail(rt.onMachineFail)
 	return rt
 }
 
-// SetProfiler attaches (or detaches, with nil) the profiling hook.
-func (rt *Runtime) SetProfiler(p ProfilerHook) { rt.profiler = p }
+// envOf returns the scheduling context of the machine hosting srv; all
+// shard-context scheduling in the runtime goes through it.
+func (rt *Runtime) envOf(srv cluster.MachineID) *sim.Env { return rt.C.Machine(srv).Env() }
+
+// spawnGrower is the optional profiler capability the runtime uses to
+// pre-size dense per-actor accumulators at spawn time (the global phase),
+// so profiling hooks never grow shared slices from inside a shard window.
+type spawnGrower interface {
+	OnSpawn(srv cluster.MachineID, a Ref)
+}
+
+// SetProfiler attaches (or detaches, with nil) the profiling hook. A hook
+// implementing spawnGrower is told about every already-live actor so its
+// dense accumulators are sized before any shard window runs.
+func (rt *Runtime) SetProfiler(p ProfilerHook) {
+	rt.profiler = p
+	if g, ok := p.(spawnGrower); ok {
+		for _, id := range rt.order {
+			if inst := rt.actors[id]; inst != nil {
+				g.OnSpawn(inst.srv, Ref{ID: id})
+			}
+		}
+	}
+}
 
 // SetPlacement attaches (or detaches, with nil) the placement hook.
 func (rt *Runtime) SetPlacement(p PlacementHook) { rt.placement = p }
@@ -303,6 +357,9 @@ func (rt *Runtime) SpawnOn(typ string, b Behavior, srv cluster.MachineID) Ref {
 	}
 	rt.actors[inst.id] = inst
 	rt.order = append(rt.order, inst.id)
+	if g, ok := rt.profiler.(spawnGrower); ok {
+		g.OnSpawn(srv, Ref{ID: inst.id})
+	}
 	return Ref{ID: inst.id}
 }
 
@@ -561,7 +618,10 @@ func (rt *Runtime) MigratingTo(ref Ref) cluster.MachineID {
 }
 
 // send routes a message to an actor, resolving its location at delivery
-// time; messages chase migrated actors with an extra forwarding hop.
+// time; messages chase migrated actors with an extra forwarding hop. It
+// runs either in the global phase or on fromSrv's shard; the delivery
+// itself is scheduled onto the destination's shard, which is where the
+// receive side of the network accounting happens too.
 func (rt *Runtime) send(fromSrv cluster.MachineID, msg Message, to Ref) {
 	inst := rt.actors[to.ID]
 	if inst == nil {
@@ -571,9 +631,11 @@ func (rt *Runtime) send(fromSrv cluster.MachineID, msg Message, to Ref) {
 	lat := rt.C.TransferLatency(fromSrv, dstSrv, msg.Size)
 	if fromSrv != dstSrv {
 		rt.C.Machine(fromSrv).AddNetBytes(msg.Size)
-		rt.C.Machine(dstSrv).AddNetBytes(msg.Size)
 	}
-	rt.K.After(lat, func() {
+	rt.envOf(fromSrv).Schedule(int32(dstSrv), lat, func() {
+		if fromSrv != dstSrv {
+			rt.C.Machine(dstSrv).AddNetBytes(msg.Size)
+		}
 		cur := rt.actors[to.ID]
 		if cur == nil {
 			return
@@ -587,11 +649,20 @@ func (rt *Runtime) send(fromSrv cluster.MachineID, msg Message, to Ref) {
 	})
 }
 
+// deliver runs on inst's shard (or the global phase on an unsharded
+// kernel); the shed trace record is deferred so the shared tracer is only
+// touched at the window barrier, in deterministic merge order.
 func (rt *Runtime) deliver(inst *instance, msg Message) {
 	if rt.MailboxCap > 0 && len(inst.mailbox) >= rt.MailboxCap {
-		rt.shed++
-		rt.tr.Emit(trace.Record{Kind: trace.KindShed, Server: int32(inst.srv), Target: -1,
-			Actor: uint64(inst.id), Rule: -1, Value: float64(rt.MailboxCap), Detail: msg.Method})
+		srv := inst.srv
+		rt.shed[rt.K.ShardIndexOf(int32(srv))]++
+		if rt.tr != nil {
+			id, method := inst.id, msg.Method
+			rt.envOf(srv).Defer(func() {
+				rt.tr.Emit(trace.Record{Kind: trace.KindShed, Server: int32(srv), Target: -1,
+					Actor: uint64(id), Rule: -1, Value: float64(rt.MailboxCap), Detail: method})
+			})
+		}
 		return
 	}
 	inst.mailbox = append(inst.mailbox, delivery{msg: msg})
@@ -599,11 +670,18 @@ func (rt *Runtime) deliver(inst *instance, msg Message) {
 }
 
 // ShedRequests reports deliveries dropped at full bounded mailboxes.
-func (rt *Runtime) ShedRequests() int64 { return rt.shed }
+func (rt *Runtime) ShedRequests() int64 {
+	var n int64
+	for _, s := range rt.shed {
+		n += s
+	}
+	return n
+}
 
 // pump dispatches the next mailbox message if the actor is free and its
 // machine is in service (a crashed machine processes nothing; queued mail
-// drains after recovery).
+// drains after recovery). pump runs on the actor's shard (from deliveries
+// and Exec completions) as well as in the global phase.
 func (rt *Runtime) pump(inst *instance) {
 	if inst.busy || inst.migrating || inst.dead {
 		return
@@ -612,7 +690,24 @@ func (rt *Runtime) pump(inst *instance) {
 		return
 	}
 	if inst.pendingDst >= 0 {
-		rt.beginMigration(inst)
+		// Migration bookkeeping (inflight table, tracer, counters) is
+		// global state, but pump may be running on the actor's shard:
+		// escalate to the global phase instead of starting it here. The
+		// actor stays parked (pump dispatches nothing while a move is
+		// pending), so at most one escalation is ever queued.
+		if !inst.beginQueued {
+			inst.beginQueued = true
+			rt.envOf(inst.srv).Schedule(sim.GlobalHome, 0, func() {
+				inst.beginQueued = false
+				if inst.pendingDst >= 0 && !inst.busy && !inst.migrating {
+					rt.beginMigration(inst)
+					return
+				}
+				// The request was withdrawn while the escalation was in
+				// flight (destination died, actor stopped): resume mail.
+				rt.pump(inst)
+			})
+		}
 		return
 	}
 	if len(inst.mailbox) == 0 {
@@ -680,6 +775,19 @@ func (rt *Runtime) MigrateTraced(ref Ref, dst cluster.MachineID, parent uint64, 
 	}
 }
 
+// beginMigration starts a pending migration. It runs only in the global
+// phase (directly from MigrateTraced, or via pump's escalation event).
+//
+// Serialize on the source, transfer, deserialize on the destination, then
+// resume message processing there. Every asynchronous step revalidates the
+// migration: a crash of either endpoint (or a Stop, or a crash-recovery
+// re-home) aborts it via the epoch guard, and the actor either resumes on
+// its source with its buffered mail intact or awaits RecoverMachine —
+// never a permanently stuck `migrating` flag. The serialize/deserialize
+// Execs occupy the machines on their own shards; their completions
+// escalate back to the global phase (floored to the kernel lookahead on a
+// sharded kernel) because every inter-step decision reads and writes
+// global migration state.
 func (rt *Runtime) beginMigration(inst *instance) {
 	dst := inst.pendingDst
 	onDone := inst.pendingFn
@@ -705,53 +813,61 @@ func (rt *Runtime) beginMigration(inst *instance) {
 	stateMB := float64(inst.memSize) / (1 << 20)
 	serCost := sim.Duration(stateMB * float64(rt.SerializePerMB))
 
-	// Serialize on the source, transfer, deserialize on the destination,
-	// then resume message processing there. Every asynchronous step
-	// revalidates the migration: a crash of either endpoint (or a Stop, or a
-	// crash-recovery re-home) aborts it via the epoch guard, and the actor
-	// either resumes on its source with its buffered mail intact or awaits
-	// RecoverMachine — never a permanently stuck `migrating` flag.
 	rt.C.Machine(src).Exec(serCost, func() {
+		rt.envOf(src).Schedule(sim.GlobalHome, 0, func() { rt.migTransfer(mig, serCost) })
+	})
+}
+
+// migTransfer is the post-serialize step: charge the state transfer to
+// both NICs and schedule the arrival. Global phase.
+func (rt *Runtime) migTransfer(mig *migration, serCost sim.Duration) {
+	if !rt.migValid(mig) {
+		return
+	}
+	inst, src, dst := mig.inst, mig.src, mig.dst
+	lat := rt.C.TransferLatency(src, dst, inst.memSize)
+	rt.C.Machine(src).AddNetBytes(inst.memSize)
+	rt.C.Machine(dst).AddNetBytes(inst.memSize)
+	rt.K.After(lat, func() {
 		if !rt.migValid(mig) {
 			return
 		}
-		lat := rt.C.TransferLatency(src, dst, inst.memSize)
-		rt.C.Machine(src).AddNetBytes(inst.memSize)
-		rt.C.Machine(dst).AddNetBytes(inst.memSize)
-		rt.K.After(lat, func() {
-			if !rt.migValid(mig) {
-				return
-			}
-			if !rt.C.Machine(dst).Up() {
-				// Destination lost mid-transfer (e.g. decommissioned; crashes
-				// are caught by the failure hook): roll back to the source.
-				rt.abortMigration(mig, true, "dst-down")
-				return
-			}
-			rt.C.Machine(dst).Exec(serCost, func() {
-				if !rt.migValid(mig) {
-					return
-				}
-				if !rt.C.Machine(dst).Up() {
-					rt.abortMigration(mig, true, "dst-down")
-					return
-				}
-				delete(rt.inflight, inst.id)
-				rt.C.Machine(src).AddMem(-inst.memSize)
-				rt.C.Machine(dst).AddMem(inst.memSize)
-				inst.srv = dst
-				inst.lastMove = rt.K.Now()
-				inst.migrating = false
-				rt.migrations++
-				rt.tr.Emit(trace.Record{Kind: trace.KindCommit, Parent: mig.traceID,
-					Server: int32(src), Target: int32(dst), Actor: uint64(inst.id), Rule: -1})
-				if onDone != nil {
-					onDone(true)
-				}
-				rt.pump(inst)
-			})
+		if !rt.C.Machine(dst).Up() {
+			// Destination lost mid-transfer (e.g. decommissioned; crashes
+			// are caught by the failure hook): roll back to the source.
+			rt.abortMigration(mig, true, "dst-down")
+			return
+		}
+		rt.C.Machine(dst).Exec(serCost, func() {
+			rt.envOf(dst).Schedule(sim.GlobalHome, 0, func() { rt.migCommit(mig) })
 		})
 	})
+}
+
+// migCommit is the post-deserialize step: re-home the actor and resume it
+// on the destination. Global phase.
+func (rt *Runtime) migCommit(mig *migration) {
+	if !rt.migValid(mig) {
+		return
+	}
+	inst, src, dst := mig.inst, mig.src, mig.dst
+	if !rt.C.Machine(dst).Up() {
+		rt.abortMigration(mig, true, "dst-down")
+		return
+	}
+	delete(rt.inflight, inst.id)
+	rt.C.Machine(src).AddMem(-inst.memSize)
+	rt.C.Machine(dst).AddMem(inst.memSize)
+	inst.srv = dst
+	inst.lastMove = rt.K.Now()
+	inst.migrating = false
+	rt.migrations++
+	rt.tr.Emit(trace.Record{Kind: trace.KindCommit, Parent: mig.traceID,
+		Server: int32(src), Target: int32(dst), Actor: uint64(inst.id), Rule: -1})
+	if mig.onDone != nil {
+		mig.onDone(true)
+	}
+	rt.pump(inst)
 }
 
 // migValid reports whether an in-flight migration is still the actor's
@@ -775,8 +891,9 @@ type Context struct {
 // Self returns the receiving actor's ref.
 func (c *Context) Self() Ref { return Ref{ID: c.inst.id} }
 
-// Now returns the current virtual time.
-func (c *Context) Now() sim.Time { return c.rt.K.Now() }
+// Now returns the current virtual time, read from the hosting machine's
+// scheduling context (handlers run on the machine's shard).
+func (c *Context) Now() sim.Time { return c.rt.envOf(c.inst.srv).Now() }
 
 // Runtime exposes the hosting runtime (for spawning from handlers).
 func (c *Context) Runtime() *Runtime { return c.rt }
@@ -802,7 +919,9 @@ func (c *Context) Send(to Ref, method string, arg interface{}, size int64) {
 func (c *Context) SendAfter(d sim.Duration, to Ref, method string, arg interface{}, size int64) {
 	out := Message{Method: method, Arg: arg, Size: size, Sender: c.Self(), SenderType: c.inst.typ}
 	c.effects = append(c.effects, func(srv cluster.MachineID) {
-		c.rt.K.After(d, func() { c.rt.send(srv, out, to) })
+		// The delay elapses on the sending machine (same-home, so no
+		// lookahead floor applies), then the send routes normally.
+		c.rt.envOf(srv).Schedule(int32(srv), d, func() { c.rt.send(srv, out, to) })
 	})
 }
 
@@ -825,9 +944,13 @@ func (c *Context) Reply(arg interface{}, size int64) {
 		lat := c.rt.C.TransferLatency(srv, rp.originSrv, size)
 		if srv != rp.originSrv {
 			c.rt.C.Machine(srv).AddNetBytes(size)
-			c.rt.C.Machine(rp.originSrv).AddNetBytes(size)
 		}
-		c.rt.K.After(lat, func() { rp.deliver(arg, size) })
+		c.rt.envOf(srv).Schedule(int32(rp.originSrv), lat, func() {
+			if srv != rp.originSrv {
+				c.rt.C.Machine(rp.originSrv).AddNetBytes(size)
+			}
+			rp.deliver(arg, size)
+		})
 	})
 	if c.rt.profiler != nil {
 		c.rt.profiler.OnNet(c.inst.srv, c.Self(), c.inst.typ, size)
@@ -875,7 +998,9 @@ func NewClient(rt *Runtime, site cluster.MachineID) *Client {
 }
 
 // Request sends a message and invokes done with the end-to-end latency when
-// the (possibly multi-hop) reply arrives.
+// the (possibly multi-hop) reply arrives. Request itself is a global-phase
+// API; on a sharded kernel the done callback runs on the client site's
+// shard, so it must only touch state owned by that site.
 func (cl *Client) Request(to Ref, method string, arg interface{}, size int64, done func(lat sim.Duration, reply interface{})) {
 	start := cl.rt.K.Now()
 	msg := Message{
@@ -884,7 +1009,7 @@ func (cl *Client) Request(to Ref, method string, arg interface{}, size int64, do
 			originSrv: cl.Site,
 			deliver: func(replyArg interface{}, _ int64) {
 				if done != nil {
-					done(sim.Duration(cl.rt.K.Now()-start), replyArg)
+					done(sim.Duration(cl.rt.envOf(cl.Site).Now()-start), replyArg)
 				}
 			},
 		},

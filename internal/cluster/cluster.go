@@ -57,6 +57,7 @@ type Machine struct {
 	Type InstanceType
 
 	k        *sim.Kernel
+	env      *sim.Env // scheduling context for this machine's home (shard-safe)
 	up       bool
 	failed   bool
 	decommed bool // permanently removed; Repair must not resurrect it
@@ -74,6 +75,11 @@ type Machine struct {
 	netBytes    int64        // NIC bytes since windowStart
 	memUsed     int64        // bytes currently attributed to this machine
 }
+
+// Env returns the machine's scheduling context: events homed at this
+// machine (message deliveries, CPU completions) are scheduled through it
+// so a sharded kernel can run them on the machine's shard.
+func (m *Machine) Env() *sim.Env { return m.env }
 
 // Up reports whether the machine has finished booting and is usable.
 func (m *Machine) Up() bool { return m.up && !m.failed }
@@ -131,9 +137,11 @@ func (m *Machine) allocWork() *work {
 }
 
 func (m *Machine) start(w *work) {
-	w.start = m.k.Now()
+	w.start = m.env.Now()
 	m.active = append(m.active, w)
-	m.k.After(w.cost, w.fire)
+	// Completion stays homed at this machine, so queued work chains and
+	// window accounting run on the machine's own shard.
+	m.env.Schedule(int32(m.ID), w.cost, w.fire)
 }
 
 func (m *Machine) complete(w *work) {
@@ -149,7 +157,7 @@ func (m *Machine) complete(w *work) {
 			break
 		}
 	}
-	m.busyWindow += sim.Duration(m.k.Now() - w.start)
+	m.busyWindow += sim.Duration(m.env.Now() - w.start)
 	if len(m.queue) > 0 {
 		next := m.queue[0]
 		m.queue = m.queue[1:]
@@ -190,7 +198,7 @@ func (m *Machine) MemUsed() int64 { return m.memUsed }
 // CPUPercent reports core utilization (0-100) since the window started,
 // including partially complete in-flight work.
 func (m *Machine) CPUPercent() float64 {
-	elapsed := m.k.Now() - m.windowStart
+	elapsed := m.env.Now() - m.windowStart
 	if elapsed <= 0 {
 		return 0
 	}
@@ -200,14 +208,14 @@ func (m *Machine) CPUPercent() float64 {
 		if s < m.windowStart {
 			s = m.windowStart
 		}
-		busy += sim.Duration(m.k.Now() - s)
+		busy += sim.Duration(m.env.Now() - s)
 	}
 	return float64(busy) / (float64(elapsed) * float64(m.Type.VCPUs)) * 100
 }
 
 // NetPercent reports NIC utilization (0-100) since the window started.
 func (m *Machine) NetPercent() float64 {
-	elapsedSec := (m.k.Now() - m.windowStart).Seconds()
+	elapsedSec := (m.env.Now() - m.windowStart).Seconds()
 	if elapsedSec <= 0 {
 		return 0
 	}
@@ -223,7 +231,7 @@ func (m *Machine) MemPercent() float64 {
 // ResetWindow starts a fresh accounting window at the current instant.
 // In-flight work is credited up to now and continues into the new window.
 func (m *Machine) ResetWindow() {
-	now := m.k.Now()
+	now := m.env.Now()
 	for _, w := range m.active {
 		// In-flight time up to now belongs to the closed window; the work
 		// restarts its accounting in the new one.
@@ -275,7 +283,8 @@ func New(k *sim.Kernel, n int, typ InstanceType) *Cluster {
 func (c *Cluster) SetMaxSize(n int) { c.maxSize = n }
 
 func (c *Cluster) newMachine(typ InstanceType) *Machine {
-	m := &Machine{ID: MachineID(len(c.machines)), Type: typ, k: c.K, windowStart: c.K.Now()}
+	id := MachineID(len(c.machines))
+	m := &Machine{ID: id, Type: typ, k: c.K, env: c.K.Env(int32(id)), windowStart: c.K.Now()}
 	c.machines = append(c.machines, m)
 	return m
 }

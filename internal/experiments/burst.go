@@ -167,7 +167,7 @@ func burstRun(cfg Config, seed int64, o burstOpts) burstOut {
 	k.Run(stop)
 	m.Stop()
 	k.Run(stop + sim.Time(2*o.period))
-	slo.Finish(k.Now().Seconds())
+	slo.Finalize(k.Now().Seconds())
 
 	out := burstOut{
 		violSec: slo.ViolationSeconds(), episodes: slo.Episodes(),

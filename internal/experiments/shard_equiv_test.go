@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"plasma/internal/trace"
+)
+
+// equivShards picks the sharded side of the differential: GOMAXPROCS as
+// the issue prescribes, bumped to 4 on small machines so the concurrent
+// window machinery (not just the trivial 1-shard path) is exercised —
+// and raced, under `go test -race` — everywhere.
+func equivShards() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// runForEquiv executes one experiment id with a capturing tracer and
+// returns everything a byte-level comparison needs: the rendered report,
+// the decision-trace JSONL bytes, and the kernel event count.
+func runForEquiv(t *testing.T, id string, shards int) (render string, traceJSONL []byte, events uint64) {
+	t.Helper()
+	ring := trace.NewRing(1 << 20)
+	tr := trace.New(ring)
+	res, err := Run(id, Config{Seed: 1, Shards: shards, Trace: tr})
+	if err != nil {
+		t.Fatalf("%s (shards=%d): %v", id, shards, err)
+	}
+	if d := ring.Dropped(); d != 0 {
+		t.Fatalf("%s (shards=%d): trace ring dropped %d records; grow the ring", id, shards, d)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, ring.Records()); err != nil {
+		t.Fatalf("%s (shards=%d): encode trace: %v", id, shards, err)
+	}
+	return res.Render(), buf.Bytes(), res.EventsFired
+}
+
+// TestShardEquivalenceAllQuickIDs is the tentpole's acceptance check: every
+// registered experiment id, run quick at -shards=1 and at the parallel
+// shard count, must produce a byte-identical rendered report, byte-identical
+// decision-trace JSONL, and the same number of fired kernel events. Ids
+// outside the scale family ignore Shards (their kernels stay sequential),
+// so for them this doubles as a determinism regression; the scale family
+// genuinely runs the concurrent window machinery on the sharded side.
+func TestShardEquivalenceAllQuickIDs(t *testing.T) {
+	shards := equivShards()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			seqRender, seqTrace, seqEvents := runForEquiv(t, id, 1)
+			shRender, shTrace, shEvents := runForEquiv(t, id, shards)
+			if seqEvents != shEvents {
+				t.Errorf("events fired: sequential %d, shards=%d %d", seqEvents, shards, shEvents)
+			}
+			if seqRender != shRender {
+				t.Errorf("rendered report diverged at shards=%d:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+					shards, seqRender, shRender)
+			}
+			if !bytes.Equal(seqTrace, shTrace) {
+				t.Errorf("trace JSONL diverged at shards=%d:\n%s", shards, firstTraceDiff(seqTrace, shTrace))
+			}
+		})
+	}
+}
+
+// firstTraceDiff locates the first differing JSONL line for a readable
+// failure message (full traces run to megabytes).
+func firstTraceDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\nsequential: %s\nsharded:    %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: sequential %d, sharded %d", len(al), len(bl))
+}
+
+// TestScaleShardTwinsMatch pins the registered twins against each other:
+// scale_shard (4-shard kernel) and scale_shard1 (sequential reference) are
+// distinct ids, so plasma-bench times them separately, but their results
+// must be indistinguishable.
+func TestScaleShardTwinsMatch(t *testing.T) {
+	a, err := Run("scale_shard", Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("scale_shard1", Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("twin rows differ:\n%v\n%v", a.Rows, b.Rows)
+	}
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
+		t.Errorf("twin summaries differ:\n%v\n%v", a.Summary, b.Summary)
+	}
+	if a.EventsFired != b.EventsFired {
+		t.Errorf("twin event counts differ: %d vs %d", a.EventsFired, b.EventsFired)
+	}
+	if a.Summary["migrations"] <= 0 {
+		t.Error("shard twin executed no migrations; the workload is not exercising the EMR")
+	}
+}

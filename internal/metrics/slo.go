@@ -21,6 +21,7 @@ type SLOTracker struct {
 	episodes   int
 	worstV     float64
 	finishedAt float64
+	closed     bool
 }
 
 // NewSLOTracker creates a tracker for the given violation threshold:
@@ -30,8 +31,14 @@ func NewSLOTracker(threshold float64) *SLOTracker {
 }
 
 // Observe records the signal's value at time t (seconds). Observations
-// must be fed in nondecreasing time order.
+// must be fed in nondecreasing time order. Observations after Finalize
+// are discarded: the run is over, and straggler samples (e.g. replies
+// still in flight when the simulation deadline hit) must not reopen the
+// integration window.
 func (s *SLOTracker) Observe(t, v float64) {
+	if s.closed {
+		return
+	}
 	if s.seen {
 		s.accumulate(t)
 	}
@@ -46,15 +53,36 @@ func (s *SLOTracker) Observe(t, v float64) {
 	}
 }
 
-// Finish closes the integration window at time t, crediting the interval
-// since the last observation. Idempotent for the same t.
+// Finish flushes the integration window through time t, crediting the
+// interval since the last observation. Idempotent for the same t; the
+// signal is still live afterwards (later Observes keep integrating),
+// which makes Finish suitable for mid-run checkpoints. To close the
+// tracker at end of run use Finalize, which seals it.
 func (s *SLOTracker) Finish(t float64) {
+	if s.closed {
+		return
+	}
 	if s.seen {
 		s.accumulate(t)
 		s.lastT = t
 	}
 	s.finishedAt = t
 }
+
+// Finalize closes the tracker at end of run: a violation window still
+// open at now is credited through now (without this, a run ending
+// mid-violation under-counts by the entire open interval), and the
+// tracker is sealed — further Observe, Finish, or Finalize calls are
+// no-ops, so a stray post-deadline sample or a repeated shutdown path
+// cannot inflate the integral.
+func (s *SLOTracker) Finalize(now float64) {
+	s.Finish(now)
+	s.closed = true
+}
+
+// FinishedAt reports the time the window was last flushed through (the
+// last Finish checkpoint or the Finalize instant; 0 before either).
+func (s *SLOTracker) FinishedAt() float64 { return s.finishedAt }
 
 func (s *SLOTracker) accumulate(t float64) {
 	if s.violating && t > s.lastT {

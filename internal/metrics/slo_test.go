@@ -51,3 +51,71 @@ func TestSLOTrackerEmptyFinish(t *testing.T) {
 		t.Errorf("empty tracker reported violations")
 	}
 }
+
+// A violation window still open at end of run must be credited through the
+// Finalize instant — without the flush, the whole open interval is lost
+// (this is the end-of-run under-count regression).
+func TestSLOTrackerFinalizeFlushesOpenWindow(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 150) // violating from t=0, never observed again
+	if got := s.ViolationSeconds(); got != 0 {
+		t.Fatalf("pre-flush ViolationSeconds = %v, want 0 (nothing credited yet)", got)
+	}
+	s.Finalize(30)
+	if got := s.ViolationSeconds(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("ViolationSeconds after Finalize(30) = %v, want 30", got)
+	}
+	if got := s.FinishedAt(); got != 30 {
+		t.Errorf("FinishedAt = %v, want 30", got)
+	}
+}
+
+// Finalize seals the tracker: repeating it later, or re-flushing via
+// Finish, must not keep integrating past the end of the run. (Plain
+// Finish deliberately fails this — it is the re-openable mid-run
+// checkpoint — which is exactly why the end-of-run path uses Finalize.)
+func TestSLOTrackerFinalizeIsIdempotent(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 150)
+	s.Finalize(30)
+	s.Finalize(45)
+	s.Finish(60)
+	if got := s.ViolationSeconds(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("ViolationSeconds after repeated finalization = %v, want 30", got)
+	}
+}
+
+// Straggler observations after Finalize (e.g. replies still in flight at
+// the simulation deadline) must not reopen the integration window.
+func TestSLOTrackerObserveAfterFinalizeIgnored(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 150)
+	s.Finalize(10)
+	s.Observe(20, 500)
+	s.Finalize(40)
+	if got := s.ViolationSeconds(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("ViolationSeconds = %v, want 10 (post-finalize samples discarded)", got)
+	}
+	if s.Worst() != 150 {
+		t.Errorf("Worst = %v, want 150 (post-finalize samples discarded)", s.Worst())
+	}
+	if s.Episodes() != 1 {
+		t.Errorf("Episodes = %d, want 1", s.Episodes())
+	}
+}
+
+// Finish stays a live checkpoint: integration continues across it, so
+// periodic reporting can flush without ending the run.
+func TestSLOTrackerFinishKeepsIntegrating(t *testing.T) {
+	s := NewSLOTracker(100)
+	s.Observe(0, 150)
+	s.Finish(10)
+	if got := s.ViolationSeconds(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("checkpoint ViolationSeconds = %v, want 10", got)
+	}
+	s.Observe(20, 150) // still violating 10..20 and beyond
+	s.Finalize(25)
+	if got := s.ViolationSeconds(); math.Abs(got-25) > 1e-9 {
+		t.Errorf("final ViolationSeconds = %v, want 25", got)
+	}
+}

@@ -20,24 +20,57 @@ package sim
 // event is one scheduled callback. Timer events leave fn nil and carry
 // the owning slot id in tid; the slot holds the callback so it survives
 // the fire and can be re-armed by Reset.
+//
+// home and cnt form the order key together with at (see before); dst is
+// pure routing — the home whose shard executes the event, or GlobalHome
+// for coordinator events. Events scheduled through the kernel's plain
+// After/At/AfterFunc APIs are global on both axes.
 type event struct {
-	at  Time
-	seq uint64
-	tid int32 // owning timer slot, or noTimer
-	fn  func()
+	at    Time
+	depth int32 // same-instant causal depth: parent's depth + 1 when at == parent's at
+	home  int32 // scheduling home that stamped cnt (order key), GlobalHome for kernel APIs
+	cnt   uint64
+	dst   int32 // executing home (routing), GlobalHome for coordinator events
+	tid   int32 // owning timer slot, or noTimer
+	fn    func()
 }
 
 const noTimer = int32(-1)
 
-// before is the queue's strict total order: fire time, then scheduling
-// order. seq is unique per kernel, so ties cannot exist and any correct
-// heap pops events in exactly one order — the property the determinism
-// tests pin down.
+// before is the queue's strict total order and the kernel's same-instant
+// ordering contract: fire time, then same-instant causal depth, then
+// scheduling home (global events first, then homes in ascending id
+// order), then per-home scheduling order. The (home, cnt) pair is unique
+// per kernel — each home's counter is bumped only by code executing for
+// that home — so ties cannot exist and any correct heap pops events in
+// exactly one order.
+//
+// depth makes the order causal: an event scheduled at its parent's
+// instant carries the parent's depth + 1, so every child's key exceeds
+// its parent's and a heap's pop sequence is monotone in the key. For
+// workloads driven purely through the kernel's global APIs this refines
+// nothing — among same-instant events, scheduling order (the old global
+// seq tiebreak) already agrees with (depth, cnt) order, because a deeper
+// event can only be scheduled after its shallower producer ran — so the
+// sequential kernel's semantics are unchanged.
+//
+// The key as a whole is what makes the sharded kernel byte-identical to
+// the sequential one: it is computed from per-home scheduling history
+// only — never from wall-clock execution order — so the key multiset
+// (and therefore every heap's pop order) is independent of the shard
+// count, and deferred side effects can be merged at window barriers in
+// exactly the order a sequential run produces them inline.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
-	return e.seq < o.seq
+	if e.depth != o.depth {
+		return e.depth < o.depth
+	}
+	if e.home != o.home {
+		return e.home < o.home
+	}
+	return e.cnt < o.cnt
 }
 
 // timerSlot is the persistent half of a Timer: the callback plus the

@@ -1,0 +1,482 @@
+package sim
+
+// This file implements the sharded execution mode: homed events are
+// partitioned across per-shard heaps and drained by one goroutine per
+// shard inside conservative time windows, while the (at, home, cnt)
+// order key from queue.go keeps every run byte-identical to the
+// sequential kernel at the same seed.
+//
+// The synchronization model is classic conservative PDES specialized to
+// PLASMA's structure:
+//
+//   - A "home" is a unit of sequential state — one cluster machine. Home
+//     h maps to shard h mod nshards, and all events destined to h
+//     execute on that shard's goroutine, so per-machine state needs no
+//     locks.
+//   - Cross-home interactions have a minimum latency: Env.Schedule
+//     applies a delay floor of the configured lookahead to any schedule
+//     whose destination is a different home. The floor is applied
+//     identically on sequential and sharded kernels, which is what makes
+//     the two modes produce the same event set.
+//   - A window [T, Tend) opens at the earliest homed event time T and
+//     closes at min(next global event, T + lookahead, deadline). Within
+//     the window each shard drains its own heap independently: same-home
+//     follow-ups (delay < lookahead) stay on the shard, and anything
+//     cross-home or global lands at >= T + lookahead >= Tend — provably
+//     outside the window — so shards never need to communicate while the
+//     window is open. Cross-shard events collect in per-shard outboxes
+//     and are routed at the barrier.
+//   - Global events (kernel After/At/timers: EMR ticks, chaos, harness
+//     probes) run single-threaded between windows and bound every window,
+//     so policy code never races with actor execution.
+//
+// Side effects that must remain globally ordered (e.g. trace emission)
+// but occur inside homed events go through Env.Defer: the closures are
+// recorded per shard with the scheduling key of the event that deferred
+// them and replayed at the barrier in key order, with the clock pinned to
+// each record's instant — the same order and clock a sequential run
+// produces by running them inline.
+
+import "sort"
+
+// GlobalHome is the pseudo-home of events scheduled through the kernel's
+// own After/At/AfterFunc APIs. It sorts before every real home at the
+// same instant, and its events always execute single-threaded.
+const GlobalHome = int32(-1)
+
+// SetShards partitions homed events across n shards (n <= 1 restores the
+// sequential reference mode). It must be called before any event is
+// scheduled or Env created, so that every event routes consistently for
+// the kernel's whole life.
+func (k *Kernel) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if k.fired > 0 || k.q.len() > 0 || len(k.envs) > 0 {
+		panic("sim: SetShards must be called before scheduling events or creating Envs")
+	}
+	k.nshards = n
+	k.shards = nil
+	if n > 1 {
+		k.shards = make([]*kshard, n)
+		for i := range k.shards {
+			k.shards[i] = new(kshard)
+		}
+	}
+}
+
+// Shards reports the configured shard count (minimum 1).
+func (k *Kernel) Shards() int {
+	if k.nshards < 1 {
+		return 1
+	}
+	return k.nshards
+}
+
+// SetLookahead sets the conservative lookahead: the minimum virtual
+// latency of any cross-home interaction, used both as the delay floor
+// Env.Schedule applies to cross-home events and as the width bound of
+// each concurrent window. Larger values mean wider windows (more
+// parallelism); the value must not exceed the real minimum cross-machine
+// latency of the workload or the floor would reorder its messages. A
+// sharded run (shards > 1) requires a positive lookahead.
+//
+// The floor applies at every shard count, including the sequential
+// reference kernel, so choosing a lookahead changes the simulated
+// workload once — not per mode.
+func (k *Kernel) SetLookahead(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k.lookahead = d
+}
+
+// Lookahead reports the configured lookahead.
+func (k *Kernel) Lookahead() Duration { return k.lookahead }
+
+// ShardIndexOf reports which shard executes events homed at home. Useful
+// for striping counters that homed code updates concurrently.
+func (k *Kernel) ShardIndexOf(home int32) int {
+	if k.nshards <= 1 || home < 0 {
+		return 0
+	}
+	return int(home) % k.nshards
+}
+
+// kshard is one shard: a heap of events homed at the shard's homes, plus
+// window-local state owned by the shard's worker goroutine while a
+// window is open. Shards never hold timer events.
+type kshard struct {
+	q    eventQueue
+	now  Time // last executed event time on this shard
+	peak int
+
+	// Owned by the worker while k.inWindow, read by the coordinator
+	// only after the WaitGroup join.
+	curAt       Time // order key of the executing event, for Defer records
+	curDepth    int32
+	curHome     int32
+	curCnt      uint64
+	defIdx      int32
+	windowFired uint64
+	out         []event    // cross-shard/global events produced this window
+	defs        []deferred // deferred side effects produced this window
+	panicked    any
+}
+
+// deferred is one Env.Defer record: the closure plus the scheduling key
+// of the event that deferred it (idx breaks ties within one event).
+type deferred struct {
+	at    Time
+	depth int32
+	home  int32
+	cnt   uint64
+	idx   int32
+	fn    func()
+}
+
+// Env is a scheduling context bound to one home. Homed events must use
+// their Env — never the kernel's global APIs — so that (a) the order key
+// is stamped from the home's own counter, which only the home's shard
+// touches, and (b) cross-home schedules pick up the lookahead floor.
+//
+// Ownership rule: env(h) may be used by code executing an event destined
+// to h (on h's shard) and by global-phase code between windows. Using
+// another home's Env from inside a window is a data race on that home's
+// counter; the kernel cannot detect it cheaply, so the rule is part of
+// the API contract (and the race detector catches violations in tests).
+type Env struct {
+	k     *Kernel
+	home  int32
+	shard int
+}
+
+// Env returns the scheduling context for home (>= 0), creating it on
+// first use. Envs must be created from the global phase — typically when
+// the machine they represent is provisioned.
+func (k *Kernel) Env(home int32) *Env {
+	k.guard("Env")
+	if home < 0 {
+		panic("sim: Env home must be >= 0")
+	}
+	for int(home) >= len(k.envs) {
+		k.envs = append(k.envs, nil)
+	}
+	if e := k.envs[home]; e != nil {
+		return e
+	}
+	for int(home)+1 >= len(k.homeCnt) {
+		k.homeCnt = append(k.homeCnt, 0)
+	}
+	e := &Env{k: k, home: home, shard: k.ShardIndexOf(home)}
+	k.envs[home] = e
+	return e
+}
+
+// Home reports the home this Env schedules for.
+func (e *Env) Home() int32 { return e.home }
+
+// Now returns the current virtual time as seen by this Env's home: the
+// executing event's time while the home's shard is draining a window,
+// the kernel clock otherwise.
+func (e *Env) Now() Time {
+	k := e.k
+	if k.inWindow {
+		return k.shards[e.shard].now
+	}
+	return k.now
+}
+
+// Schedule queues fn to run d from now, homed at dst (GlobalHome for a
+// coordinator event that must run single-threaded between windows). The
+// event's order key is stamped from this Env's home counter.
+//
+// Cross-home schedules (dst != this Env's home, including GlobalHome)
+// are floored to the kernel lookahead. The floor is applied at every
+// shard count; with the sequential default lookahead of 0 it is a no-op.
+func (e *Env) Schedule(dst int32, d Duration, fn func()) {
+	k := e.k
+	if d < 0 {
+		d = 0
+	}
+	if dst != e.home && d < k.lookahead {
+		d = k.lookahead
+	}
+	if !k.inWindow {
+		at := k.now + Time(d)
+		k.homeCnt[e.home+1]++
+		k.route(event{at: at, depth: k.childDepth(at), home: e.home, cnt: k.homeCnt[e.home+1], dst: dst, tid: noTimer, fn: fn})
+		return
+	}
+	s := k.shards[e.shard]
+	at := s.now + Time(d)
+	var depth int32
+	if at == s.curAt {
+		depth = s.curDepth + 1
+	}
+	k.homeCnt[e.home+1]++
+	ev := event{at: at, depth: depth, home: e.home, cnt: k.homeCnt[e.home+1], dst: dst, tid: noTimer, fn: fn}
+	if dst != GlobalHome && int(dst)%k.nshards == e.shard {
+		// Same-shard follow-up: deliver locally; it may still fire
+		// inside the open window.
+		s.q.push(ev)
+		if n := s.q.len(); n > s.peak {
+			s.peak = n
+		}
+		return
+	}
+	// Cross-shard or global: the lookahead floor guarantees the event
+	// lands at or beyond the window close, so routing can wait for the
+	// barrier.
+	s.out = append(s.out, ev)
+}
+
+// Defer records fn to run after the current window closes, in the global
+// phase, ordered by the scheduling key of the deferring event and with
+// the clock pinned to that event's instant. On a sequential kernel fn
+// runs inline. Use it for side effects that must interleave in one
+// global order — trace emission, shared accounting — from homed events.
+func (e *Env) Defer(fn func()) {
+	k := e.k
+	if !k.inWindow {
+		fn()
+		return
+	}
+	s := k.shards[e.shard]
+	s.defs = append(s.defs, deferred{at: s.curAt, depth: s.curDepth, home: s.curHome, cnt: s.curCnt, idx: s.defIdx, fn: fn})
+	s.defIdx++
+}
+
+// route pushes an event generated in the global phase onto the queue
+// that owns it.
+func (k *Kernel) route(ev event) {
+	if k.nshards <= 1 || ev.dst == GlobalHome {
+		k.q.push(ev)
+		if n := k.q.len(); n > k.peak {
+			k.peak = n
+		}
+		return
+	}
+	s := k.shards[int(ev.dst)%k.nshards]
+	s.q.push(ev)
+	if n := s.q.len(); n > s.peak {
+		s.peak = n
+	}
+}
+
+// bound is an exclusive upper bound on event keys, used to close a
+// window at an exact point in the (at, depth, home, cnt) total order. A
+// bound of (t, 0, GlobalHome, 0) admits exactly the events strictly
+// before t: no real event has cnt 0, so nothing compares equal.
+type bound struct {
+	at    Time
+	depth int32
+	home  int32
+	cnt   uint64
+}
+
+// admits reports whether e sorts strictly before the bound.
+func (b bound) admits(e *event) bool {
+	if e.at != b.at {
+		return e.at < b.at
+	}
+	if e.depth != b.depth {
+		return e.depth < b.depth
+	}
+	if e.home != b.home {
+		return e.home < b.home
+	}
+	return e.cnt < b.cnt
+}
+
+// runSharded is Run/RunUntilIdle for a sharded kernel: alternate between
+// single-threaded global-queue events and concurrent windows over the
+// shard heaps, interleaving the two streams in exact key order. When
+// bounded, the clock behaves exactly like the sequential Run(until): it
+// never passes the last fired event unless the queues ran dry or the
+// deadline cut the run short.
+//
+// The global queue holds two kinds of events: kernel-scheduled ones
+// (home GlobalHome, sorting before every homed event at their instant)
+// and Env-escalated ones (Schedule(GlobalHome, ...), keyed by their
+// scheduling home, sorting among homed events). The dispatch below
+// compares full keys — not just times — so both kinds fire at exactly
+// their key-order position, and a window closes at the global head's key
+// when that key falls inside the lookahead horizon.
+func (k *Kernel) runSharded(until Time, bounded bool) {
+	if k.lookahead <= 0 {
+		panic("sim: sharded run requires a positive lookahead (SetLookahead)")
+	}
+	for !k.stopped {
+		gOK := k.q.len() > 0
+		var minHead *event
+		for _, s := range k.shards {
+			if s.q.len() > 0 && (minHead == nil || s.q.heap[0].before(minHead)) {
+				minHead = &s.q.heap[0]
+			}
+		}
+		if !gOK && minHead == nil {
+			break
+		}
+		if gOK && (minHead == nil || k.q.heap[0].before(minHead)) {
+			if bounded && k.q.heap[0].at > until {
+				k.now = until
+				return
+			}
+			e := k.q.pop()
+			k.fire(&e)
+			continue
+		}
+		sAt := minHead.at
+		if bounded && sAt > until {
+			k.now = until
+			return
+		}
+		// Close the window at the earliest of: the lookahead horizon
+		// (beyond which this window's events may still cause effects),
+		// the deadline, and the global head's key. Cross-home children
+		// born in the window land at >= sAt + lookahead, which every
+		// candidate bound excludes — so the bound is stable while the
+		// window runs.
+		b := bound{at: sAt + Time(k.lookahead), depth: 0, home: GlobalHome, cnt: 0}
+		if bounded && until+1 < b.at {
+			b = bound{at: until + 1, depth: 0, home: GlobalHome, cnt: 0}
+		}
+		if gOK {
+			if g := &k.q.heap[0]; b.admits(g) {
+				b = bound{at: g.at, depth: g.depth, home: g.home, cnt: g.cnt}
+			}
+		}
+		k.runWindow(b)
+	}
+	if bounded && !k.stopped && k.now < until {
+		k.now = until
+	}
+}
+
+// runWindow drains every shard with work before the bound concurrently,
+// then routes outboxes, replays deferred side effects in key order, and
+// advances the kernel clock to the last executed event.
+func (k *Kernel) runWindow(b bound) {
+	active := k.active[:0]
+	for _, s := range k.shards {
+		if s.q.len() > 0 && b.admits(&s.q.heap[0]) {
+			active = append(active, s)
+		}
+	}
+	k.active = active
+	if len(active) == 1 {
+		// One busy shard: drain inline, skip the goroutine round trip.
+		k.inWindow = true
+		active[0].drain(b)
+		k.inWindow = false
+	} else {
+		k.inWindow = true
+		done := make(chan struct{})
+		running := len(active)
+		for _, s := range active {
+			go func(s *kshard) {
+				defer func() {
+					if r := recover(); r != nil {
+						s.panicked = r
+					}
+					done <- struct{}{}
+				}()
+				s.drain(b)
+			}(s)
+		}
+		for ; running > 0; running-- {
+			<-done
+		}
+		k.inWindow = false
+		for _, s := range active {
+			if p := s.panicked; p != nil {
+				s.panicked = nil
+				panic(p)
+			}
+		}
+	}
+	windowEnd := k.now
+	for _, s := range active {
+		k.fired += s.windowFired
+		s.windowFired = 0
+		if s.now > windowEnd {
+			windowEnd = s.now
+		}
+	}
+	// Route outboxes. Push order across shards is irrelevant: keys are
+	// unique, so every heap pops in one deterministic order regardless
+	// of insertion order.
+	for _, s := range active {
+		for i := range s.out {
+			k.route(s.out[i])
+			s.out[i] = event{}
+		}
+		s.out = s.out[:0]
+	}
+	k.runDefers(active)
+	k.now = windowEnd
+}
+
+// drain executes the shard's events strictly before the bound. Runs on
+// the shard's worker goroutine; touches only shard-owned and home-owned
+// state.
+func (s *kshard) drain(b bound) {
+	for s.q.len() > 0 {
+		if !b.admits(&s.q.heap[0]) {
+			return
+		}
+		e := s.q.pop()
+		s.now = e.at
+		s.curAt, s.curDepth, s.curHome, s.curCnt = e.at, e.depth, e.home, e.cnt
+		s.defIdx = 0
+		s.windowFired++
+		e.fn()
+	}
+}
+
+// runDefers replays the window's deferred side effects in scheduling-key
+// order with the clock pinned to each record's instant — the order and
+// clock an inline sequential run produces.
+func (k *Kernel) runDefers(active []*kshard) {
+	buf := k.defBuf[:0]
+	for _, s := range active {
+		buf = append(buf, s.defs...)
+		for i := range s.defs {
+			s.defs[i] = deferred{}
+		}
+		s.defs = s.defs[:0]
+	}
+	if len(buf) == 0 {
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if a.home != b.home {
+			return a.home < b.home
+		}
+		if a.cnt != b.cnt {
+			return a.cnt < b.cnt
+		}
+		return a.idx < b.idx
+	})
+	saved := k.now
+	for i := range buf {
+		// Replay with the deferring event's context, so the clock and
+		// any same-instant scheduling from the closure match what an
+		// inline sequential run would have produced.
+		k.now = buf[i].at
+		k.executing, k.curAt, k.curDepth = true, buf[i].at, buf[i].depth
+		buf[i].fn()
+		buf[i] = deferred{}
+	}
+	k.executing = false
+	k.now = saved
+	k.defBuf = buf[:0]
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shardLog captures one deterministic execution trace of a homed
+// workload: a per-home event log (owned by the home, so race-free at any
+// shard count) plus a single global log fed only by Defer and global
+// events (so it is race-free too).
+type shardLog struct {
+	perHome [][]string
+	global  []string
+}
+
+// runHomedWorkload drives an identical seeded workload on a kernel with
+// the given shard count and returns its logs and stats. All randomness
+// is drawn up front into a plan, because handlers must not touch the
+// kernel RNG from worker context.
+func runHomedWorkload(t *testing.T, seed int64, shards, homes, kicks int) (shardLog, Stats, Time) {
+	t.Helper()
+	const lookahead = 100 * Microsecond
+
+	rng := rand.New(rand.NewSource(seed))
+	type kick struct {
+		at    Time
+		home  int32
+		depth int
+		span  Duration
+	}
+	plan := make([]kick, kicks)
+	for i := range plan {
+		plan[i] = kick{
+			at:    Time(rng.Intn(2000)) * Time(Microsecond),
+			home:  int32(rng.Intn(homes)),
+			depth: 2 + rng.Intn(3),
+			span:  Duration(rng.Intn(50)) * Microsecond,
+		}
+	}
+
+	k := New(seed)
+	k.SetShards(shards)
+	k.SetLookahead(lookahead)
+	lg := shardLog{perHome: make([][]string, homes)}
+	envs := make([]*Env, homes)
+	for h := range envs {
+		envs[h] = k.Env(int32(h))
+	}
+
+	// Each homed event logs to its own home, spawns a same-home
+	// follow-up under the lookahead, a cross-home hop (floored to the
+	// lookahead), and defers one globally ordered record.
+	var hop func(home int32, depth int, span Duration, tag string)
+	hop = func(home int32, depth int, span Duration, tag string) {
+		e := envs[home]
+		lg.perHome[home] = append(lg.perHome[home], fmt.Sprintf("%s@%d", tag, e.Now()))
+		e.Defer(func() {
+			lg.global = append(lg.global, fmt.Sprintf("%s:h%d@%d", tag, home, e.k.now))
+		})
+		if depth == 0 {
+			return
+		}
+		e.Schedule(home, span, func() { hop(home, depth-1, span, tag+"s") })
+		next := (home + 1) % int32(len(envs))
+		e.Schedule(next, 0, func() { hop(next, depth-1, span, tag+"x") })
+		if depth%2 == 0 {
+			e.Schedule(GlobalHome, span, func() {
+				lg.global = append(lg.global, fmt.Sprintf("%s:g@%d", tag, k.now))
+			})
+		}
+	}
+	for i, p := range plan {
+		p := p
+		tag := fmt.Sprintf("k%d", i)
+		k.At(p.at, func() {
+			envs[p.home].Schedule(p.home, 0, func() { hop(p.home, p.depth, p.span, tag) })
+		})
+	}
+	k.RunUntilIdle()
+	return lg, k.Stats(), k.now
+}
+
+// TestShardDifferentialRandomized is the kernel-level equivalence proof:
+// the same seeded homed workload at 1, 2, 3, and 4 shards produces
+// identical per-home execution logs, an identical globally ordered
+// deferred log, identical fired counts, and an identical final clock.
+func TestShardDifferentialRandomized(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		seed := int64(1000 + trial)
+		refLog, refStats, refNow := runHomedWorkload(t, seed, 1, 5, 30)
+		for _, shards := range []int{2, 3, 4} {
+			lg, st, now := runHomedWorkload(t, seed, shards, 5, 30)
+			if !reflect.DeepEqual(lg, refLog) {
+				t.Fatalf("seed %d: shards=%d log diverged from sequential\nseq:  %+v\nshard:%+v", seed, shards, refLog, lg)
+			}
+			if st.Fired != refStats.Fired {
+				t.Fatalf("seed %d: shards=%d fired %d, sequential fired %d", seed, shards, st.Fired, refStats.Fired)
+			}
+			if now != refNow {
+				t.Fatalf("seed %d: shards=%d clock %d, sequential clock %d", seed, shards, now, refNow)
+			}
+		}
+	}
+}
+
+// TestSameInstantContract pins the (at, home, cnt) contract end to end:
+// at one instant, global events fire first in scheduling order, then
+// homes in ascending id order, each home in its own scheduling order —
+// identically at every shard count.
+func TestSameInstantContract(t *testing.T) {
+	run := func(shards int) []string {
+		k := New(7)
+		k.SetShards(shards)
+		k.SetLookahead(50 * Microsecond)
+		e2 := k.Env(2)
+		e0 := k.Env(0)
+		var log []string
+		mark := func(e *Env, tag string) func() {
+			return func() { e.Defer(func() { log = append(log, tag) }) }
+		}
+		const at = Time(100)
+		// Scheduled deliberately out of key order.
+		e2.Schedule(2, Duration(at), mark(e2, "h2-a"))
+		k.At(at, func() { log = append(log, "g-a") })
+		e0.Schedule(0, Duration(at), mark(e0, "h0-a"))
+		e2.Schedule(2, Duration(at), mark(e2, "h2-b"))
+		k.At(at, func() { log = append(log, "g-b") })
+		e0.Schedule(0, Duration(at), mark(e0, "h0-b"))
+		k.RunUntilIdle()
+		return log
+	}
+	want := []string{"g-a", "g-b", "h0-a", "h0-b", "h2-a", "h2-b"}
+	for _, shards := range []int{1, 2, 4} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: same-instant order = %v, want %v", shards, got, want)
+		}
+	}
+}
+
+// TestTimerResetSameInstantIsFreshScheduling pins the satellite bugfix
+// contract: Reset on a pending timer assigns a fresh counter, so a Reset
+// to the current instant fires after events already queued for that
+// instant — byte-for-byte the order a Stop + new AfterFunc produces.
+func TestTimerResetSameInstantIsFreshScheduling(t *testing.T) {
+	viaReset := func() []string {
+		k := New(3)
+		var log []string
+		tm := k.AfterFunc(0, func() { log = append(log, "T") })
+		k.After(0, func() { log = append(log, "A") })
+		tm.Reset(0) // re-stamp: T must now fire after A and before B
+		k.After(0, func() { log = append(log, "B") })
+		k.RunUntilIdle()
+		return log
+	}
+	viaStopStart := func() []string {
+		k := New(3)
+		var log []string
+		tm := k.AfterFunc(0, func() { log = append(log, "T") })
+		k.After(0, func() { log = append(log, "A") })
+		tm.Stop()
+		k.AfterFunc(0, func() { log = append(log, "T") })
+		k.After(0, func() { log = append(log, "B") })
+		k.RunUntilIdle()
+		return log
+	}
+	want := []string{"A", "T", "B"}
+	if got := viaReset(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reset-to-now order = %v, want %v (fresh scheduling)", got, want)
+	}
+	if got := viaStopStart(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stop+AfterFunc order = %v, want %v", got, want)
+	}
+}
+
+// TestTimerResetDifferentialAgainstStopStart runs a randomized mix of
+// Reset-in-place and Stop+reschedule under same-instant contention and
+// checks both strategies produce the same fire order — the differential
+// regression for the ordering contract the sharded merge reproduces.
+func TestTimerResetDifferentialAgainstStopStart(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		seed := int64(500 + trial)
+		run := func(useReset bool) []string {
+			rng := rand.New(rand.NewSource(seed))
+			k := New(seed)
+			var log []string
+			type step struct {
+				d     Duration
+				plain bool
+			}
+			steps := make([]step, 30)
+			for i := range steps {
+				steps[i] = step{d: Duration(rng.Intn(3)), plain: rng.Intn(2) == 0}
+			}
+			tm := k.AfterFunc(1, func() { log = append(log, "tick") })
+			for i, s := range steps {
+				i := i
+				if s.plain {
+					k.After(s.d, func() { log = append(log, fmt.Sprintf("p%d", i)) })
+					continue
+				}
+				if useReset {
+					tm.Reset(s.d)
+				} else {
+					tm.Stop()
+					tm = k.AfterFunc(s.d, func() { log = append(log, "tick") })
+				}
+			}
+			k.RunUntilIdle()
+			return log
+		}
+		if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Reset order %v != Stop+AfterFunc order %v", seed, a, b)
+		}
+	}
+}
+
+// TestWorkerContextGuards verifies the kernel's global-phase APIs fail
+// deterministically (panic) when touched from a shard worker instead of
+// racing.
+func TestWorkerContextGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		op   func(k *Kernel)
+	}{
+		{"Now", func(k *Kernel) { k.Now() }},
+		{"Rand", func(k *Kernel) { k.Rand() }},
+		{"After", func(k *Kernel) { k.After(0, func() {}) }},
+		{"AfterFunc", func(k *Kernel) { k.AfterFunc(0, func() {}) }},
+		{"Stop", func(k *Kernel) { k.Stop() }},
+		{"Env", func(k *Kernel) { k.Env(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := New(1)
+			k.SetShards(2)
+			k.SetLookahead(10)
+			e := k.Env(0)
+			e.Schedule(0, 5, func() { tc.op(k) })
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Kernel.%s from worker context did not panic", tc.name)
+				}
+			}()
+			k.RunUntilIdle()
+		})
+	}
+}
+
+// TestShardModeMisuse pins the configuration guards: Step on a sharded
+// kernel, SetShards after an Env exists, and a sharded run without a
+// lookahead all panic.
+func TestShardModeMisuse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Step on sharded kernel", func() {
+		k := New(1)
+		k.SetShards(2)
+		k.Step()
+	})
+	expectPanic("SetShards after Env", func() {
+		k := New(1)
+		k.Env(0)
+		k.SetShards(2)
+	})
+	expectPanic("sharded run without lookahead", func() {
+		k := New(1)
+		k.SetShards(2)
+		k.Env(0).Schedule(0, 1, func() {})
+		k.RunUntilIdle()
+	})
+}
+
+// TestShardRunDeadline checks Run(until) clock semantics match the
+// sequential kernel on a sharded one: the clock lands exactly on the
+// deadline, events beyond it stay queued, and a later Run picks them up.
+func TestShardRunDeadline(t *testing.T) {
+	k := New(9)
+	k.SetShards(2)
+	k.SetLookahead(10)
+	e := k.Env(1)
+	var fired []Time
+	for _, d := range []Duration{5, 15, 25, 95, 105} {
+		d := d
+		e.Schedule(1, d, func() { fired = append(fired, e.Now()) })
+	}
+	k.Run(100)
+	if k.now != 100 {
+		t.Fatalf("clock after Run(100) = %d, want 100", k.now)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events before deadline, want 4 (%v)", len(fired), fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run(200)
+	if len(fired) != 5 || fired[4] != 105 {
+		t.Fatalf("second Run fired %v, want final event at 105", fired)
+	}
+}
