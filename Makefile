@@ -20,7 +20,7 @@ COVER_PROFILE ?= coverage.out
 # Scratch dir for the trace round-trip smoke test.
 TRACE_SMOKE_DIR ?= .trace-smoke
 
-.PHONY: build test vet race bench bench-quick bench-baseline bench-shards burst-quick lint lint-model cover trace-smoke verify
+.PHONY: build test vet race bench bench-quick bench-baseline bench-shards burst-quick stream-quick lint lint-model cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,14 @@ bench-shards:
 burst-quick:
 	$(GO) run ./cmd/plasma-sim burst_flash burst_chaos
 	$(GO) test -run 'TestBurst' ./internal/experiments/
+
+# stream-quick runs the windowed streaming family at quick sizes: the
+# skew-shift recovery race against the Elasticutor-style repartitioner, the
+# chaos-composed shift, and the stream acceptance/shape/determinism tests
+# (including the pinned seed-1 recovery numbers).
+stream-quick:
+	$(GO) run ./cmd/plasma-sim stream_skew stream_chaos
+	$(GO) test -run 'TestStream' ./internal/experiments/
 
 # lint runs the determinism linter over all simulator and CLI code; any
 # wall-clock read, global math/rand use, or unsorted map-order output fails

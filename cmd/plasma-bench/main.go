@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"plasma/internal/experiments"
@@ -192,7 +193,13 @@ func benchMain(cfg experiments.Config, iters int, outPath, comparePath string, t
 			fmt.Printf("REGRESSION: %s\n", r)
 		}
 		if len(regressions) > 0 {
-			fmt.Printf("%d regression(s) vs %s (tolerance %.0f%%)\n", len(regressions), comparePath, tolerance*100)
+			// Every finding was already printed above; the consolidated line
+			// names each offending experiment once, so a CI log scan (or a
+			// human skimming the tail) sees the full blast radius without
+			// counting REGRESSION lines.
+			fmt.Printf("%d regression(s) vs %s (tolerance %.0f%%); experiments: %s\n",
+				len(regressions), comparePath, tolerance*100,
+				strings.Join(regressedIDs(regressions), " "))
 			exit = 1
 		} else {
 			fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", comparePath, tolerance*100)
@@ -388,6 +395,25 @@ func compareBench(old, fresh BenchFile, tolerance float64) (regressions, notes [
 }
 
 func pctChange(old, new float64) float64 { return (new - old) / old * 100 }
+
+// regressedIDs extracts the sorted, deduplicated experiment ids from
+// compareBench's regression messages (each begins "<id>: ...").
+func regressedIDs(regressions []string) []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, r := range regressions {
+		id, _, ok := strings.Cut(r, ":")
+		if !ok || id == "" {
+			id = r
+		}
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
 
 // shardSpeedup reports the events/sec ratio between the sharded-kernel
 // twin and its sequential reference. The two ids run the identical seeded

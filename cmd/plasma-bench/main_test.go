@@ -180,3 +180,29 @@ func TestShardSpeedupRatio(t *testing.T) {
 		t.Fatalf("shardSpeedup = %v, %v; want 2.5, true", got, ok)
 	}
 }
+
+func TestCompareReportsEveryRegressedID(t *testing.T) {
+	old := baselineFile()
+	// Slow down BOTH experiments: the gate must surface both, not stop at
+	// the first, and the consolidated id list must name each exactly once.
+	fresh := withNs(withNs(old, "fig5", 1.5), "table3", 1.5)
+	regs, _ := compareBench(old, fresh, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (one per slowed experiment), got %d: %v", len(regs), regs)
+	}
+	ids := regressedIDs(regs)
+	if len(ids) != 2 || ids[0] != "fig5" || ids[1] != "table3" {
+		t.Fatalf("consolidated ids = %v, want [fig5 table3]", ids)
+	}
+}
+
+func TestRegressedIDsDedupsAndSorts(t *testing.T) {
+	ids := regressedIDs([]string{
+		"zeta: ns/op 1 -> 2 (+100.0%)",
+		"alpha: allocs/op 3 -> 9 (+200.0%)",
+		"zeta: determinism drift: events fired 1 -> 2 at fixed seed",
+	})
+	if len(ids) != 2 || ids[0] != "alpha" || ids[1] != "zeta" {
+		t.Fatalf("ids = %v, want [alpha zeta]", ids)
+	}
+}

@@ -6,6 +6,9 @@
 package workload
 
 import (
+	//lint:ignore DET002 only rand.Zipf over the kernel's seeded generator
+	"math/rand"
+
 	"plasma/internal/actor"
 	"plasma/internal/metrics"
 	"plasma/internal/sim"
@@ -169,6 +172,55 @@ func SkewedPicker(k *sim.Kernel, weights []float64) func() int {
 		return len(cum) - 1
 	}
 }
+
+// ZipfKeys draws keys from a seeded Zipf popularity distribution whose hot
+// set occupies a contiguous, rotatable span of the key space — the
+// streaming workloads' drifting hot-key model. Rank r is drawn Zipf(s) over
+// [0, n); the hottest span ranks are interleaved across the span's blocks
+// (key = offset + (r mod span/block)·block + r/(span/block)), so a
+// block-partitioned deployment sees the hot load split across span/block
+// partitions instead of piling the whole head into one; colder ranks map
+// contiguously past the span. Rotate shifts the whole mapping by delta
+// keys, moving the hot set onto previously cold partitions in one instant —
+// the "skew shift" whose recovery time the stream experiments measure.
+type ZipfKeys struct {
+	n, span, block int
+	offset         int
+	z              *rand.Zipf
+}
+
+// NewZipfKeys builds the drawer: n keys total, Zipf exponent s (>1), a hot
+// span of span keys interleaved in units of block (block must divide span).
+func NewZipfKeys(k *sim.Kernel, s float64, n, span, block int) *ZipfKeys {
+	if span%block != 0 || span > n {
+		panic("workload: ZipfKeys span must be a multiple of block and <= n")
+	}
+	return &ZipfKeys{
+		n: n, span: span, block: block,
+		z: rand.NewZipf(k.Rand(), s, 1, uint64(n-1)),
+	}
+}
+
+// Draw returns the next key.
+func (z *ZipfKeys) Draw() int {
+	r := int(z.z.Uint64())
+	var key int
+	if r < z.span {
+		blocks := z.span / z.block
+		key = (r%blocks)*z.block + r/blocks
+	} else {
+		key = r
+	}
+	return (key + z.offset) % z.n
+}
+
+// Rotate shifts the rank→key mapping by delta keys (the hot-set drift).
+func (z *ZipfKeys) Rotate(delta int) {
+	z.offset = ((z.offset+delta)%z.n + z.n) % z.n
+}
+
+// Offset reports the current rotation (for harness bookkeeping).
+func (z *ZipfKeys) Offset() int { return z.offset }
 
 // GeometricWeights returns E-Store's §5.5 request skew: the first element
 // takes frac of the total, the second frac of the remainder, and so on.

@@ -150,3 +150,103 @@ func TestGeometricWeightsSkew(t *testing.T) {
 		t.Fatalf("sum = %v", sum)
 	}
 }
+
+func TestZipfKeysInterleavesHotSpan(t *testing.T) {
+	k := sim.New(1)
+	// span 16 in blocks of 4: rank r < 16 maps to (r%4)*4 + r/4, spreading
+	// the head across all four blocks instead of packing it into one.
+	z := NewZipfKeys(k, 1.1, 64, 16, 4)
+	counts := make([]int, 4) // hits per block of the hot span
+	for i := 0; i < 20000; i++ {
+		key := z.Draw()
+		if key < 16 {
+			counts[key/4]++
+		}
+	}
+	for b, n := range counts {
+		if n == 0 {
+			t.Fatalf("hot-span block %d never drawn; interleave broken (counts=%v)", b, counts)
+		}
+	}
+	// The four hottest ranks (0..3) land one per block, so no block may
+	// dominate: the spread between blocks stays well under the Zipf head's
+	// own skew.
+	min, max := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if float64(max) > 3*float64(min) {
+		t.Fatalf("hot span badly unbalanced across blocks: %v", counts)
+	}
+}
+
+func TestZipfKeysRotateMovesHotSet(t *testing.T) {
+	k := sim.New(1)
+	z := NewZipfKeys(k, 1.1, 64, 16, 4)
+	if z.Offset() != 0 {
+		t.Fatalf("fresh drawer offset = %d, want 0", z.Offset())
+	}
+	z.Rotate(32)
+	if z.Offset() != 32 {
+		t.Fatalf("offset after Rotate(32) = %d, want 32", z.Offset())
+	}
+	// Post-rotation the hot span occupies [32, 48): the bulk of draws must
+	// land there and none of the old hot ranks keep their old keys.
+	hits := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		key := z.Draw()
+		if key >= 32 && key < 48 {
+			hits++
+		}
+	}
+	if hits < draws/2 {
+		t.Fatalf("only %d/%d draws in the rotated hot span; rotation did not move the head", hits, draws)
+	}
+	// Rotation wraps modulo n and composes.
+	z.Rotate(40)
+	if z.Offset() != (32+40)%64 {
+		t.Fatalf("offset after second rotate = %d, want %d", z.Offset(), (32+40)%64)
+	}
+	z.Rotate(-8)
+	if z.Offset() != 0 {
+		t.Fatalf("negative rotate did not wrap: offset = %d, want 0", z.Offset())
+	}
+}
+
+func TestZipfKeysDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []int {
+		k := sim.New(seed)
+		z := NewZipfKeys(k, 1.05, 2048, 256, 64)
+		out := make([]int, 256)
+		for i := range out {
+			if i == 128 {
+				z.Rotate(1024)
+			}
+			out[i] = z.Draw()
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical draw sequence")
+	}
+}

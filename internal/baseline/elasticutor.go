@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"sort"
+
+	"plasma/internal/sim"
+)
+
+// KeyedApp is the view an executor-level repartitioner needs of a
+// key-partitioned streaming job: a fixed executor fleet, a mutable
+// key→executor table, per-key load counters over the current period, and a
+// way to start a state handoff (whose cost the application models with the
+// runtime's migration cost model — see streamagg).
+type KeyedApp interface {
+	NumKeys() int
+	NumExecs() int
+	OwnerOf(key int) int
+	LoadOf(key int) int64
+	ResetLoads()
+	Moving(key int) bool
+	StartHandoff(keys []int, from, to int)
+}
+
+// Elasticutor is the executor-level key-repartitioning baseline
+// (Elasticutor, PAPERS.md): executors are pinned one per server and never
+// migrate; instead, when one executor's load exceeds SkewRatio times the
+// fleet mean, the manager peels that executor's hottest keys off and hands
+// them to the least-loaded executors until its projected load re-enters
+// the mean — bounded per period by MaxKeys keys and MaxDests destination
+// batches, so a large shift converges over a few periods rather than
+// stalling the pipeline behind one giant transfer.
+type Elasticutor struct {
+	K   *sim.Kernel
+	App KeyedApp
+
+	Period sim.Duration
+	// SkewRatio triggers repartitioning when max executor load exceeds
+	// SkewRatio × mean (default 1.5).
+	SkewRatio float64
+	// MaxKeys caps keys moved per period (default 256).
+	MaxKeys int
+	// MaxDests caps destination executors per period (default 4).
+	MaxDests int
+
+	// Handoffs counts initiated handoff batches; KeysMoved the keys in them.
+	Handoffs  int
+	KeysMoved int
+
+	running bool
+}
+
+// Start schedules periodic skew detection.
+func (e *Elasticutor) Start() {
+	if e.running {
+		return
+	}
+	e.running = true
+	if e.SkewRatio == 0 {
+		e.SkewRatio = 1.5
+	}
+	if e.MaxKeys == 0 {
+		e.MaxKeys = 256
+	}
+	if e.MaxDests == 0 {
+		e.MaxDests = 4
+	}
+	e.K.Every(e.Period, func() bool {
+		if !e.running {
+			return false
+		}
+		e.tick()
+		return true
+	})
+}
+
+// Stop halts management after the current period.
+func (e *Elasticutor) Stop() { e.running = false }
+
+func (e *Elasticutor) tick() {
+	app := e.App
+	defer app.ResetLoads()
+
+	n, execs := app.NumKeys(), app.NumExecs()
+	if execs < 2 {
+		return
+	}
+	loads := make([]int64, execs)
+	var total int64
+	for key := 0; key < n; key++ {
+		loads[app.OwnerOf(key)] += app.LoadOf(key)
+		total += app.LoadOf(key)
+	}
+	if total == 0 {
+		return
+	}
+	mean := float64(total) / float64(execs)
+	src := 0
+	for i := 1; i < execs; i++ {
+		if loads[i] > loads[src] {
+			src = i
+		}
+	}
+	if float64(loads[src]) <= e.SkewRatio*mean {
+		return
+	}
+
+	// The source's keys, hottest first (ties by key for determinism).
+	type hotKey struct {
+		key  int
+		load int64
+	}
+	var cands []hotKey
+	for key := 0; key < n; key++ {
+		if app.OwnerOf(key) == src && !app.Moving(key) && app.LoadOf(key) > 0 {
+			cands = append(cands, hotKey{key, app.LoadOf(key)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load > cands[j].load
+		}
+		return cands[i].key < cands[j].key
+	})
+
+	// The MaxDests least-loaded executors receive the peeled keys; each key
+	// goes to whichever destination is currently lightest (projected).
+	type dest struct {
+		exec int
+		load int64
+		keys []int
+	}
+	order := make([]int, 0, execs)
+	for i := 0; i < execs; i++ {
+		if i != src {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if loads[order[i]] != loads[order[j]] {
+			return loads[order[i]] < loads[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > e.MaxDests {
+		order = order[:e.MaxDests]
+	}
+	dests := make([]*dest, len(order))
+	for i, ex := range order {
+		dests[i] = &dest{exec: ex, load: loads[ex]}
+	}
+
+	srcLoad := loads[src]
+	moved := 0
+	for _, c := range cands {
+		if moved >= e.MaxKeys || float64(srcLoad) <= mean {
+			break
+		}
+		d := dests[0]
+		for _, cand := range dests[1:] {
+			if cand.load < d.load {
+				d = cand
+			}
+		}
+		// Never overfill a destination past the mean with a key the source
+		// could keep: if even the lightest destination would exceed the
+		// source's projected load, moving stops helping.
+		if float64(d.load)+float64(c.load) >= float64(srcLoad) {
+			break
+		}
+		d.keys = append(d.keys, c.key)
+		d.load += c.load
+		srcLoad -= c.load
+		moved++
+	}
+	for _, d := range dests {
+		if len(d.keys) == 0 {
+			continue
+		}
+		sort.Ints(d.keys)
+		app.StartHandoff(d.keys, src, d.exec)
+		e.Handoffs++
+		e.KeysMoved += len(d.keys)
+	}
+}

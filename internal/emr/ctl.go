@@ -154,7 +154,9 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 		ok, denyReason := m.checkIdleRes(a, snap)
 		if ok && a.Kind == epl.KindReserve {
 			m.reserved[a.Trg] = a.Actor
+			m.resLease[a.Trg] = m.Stats.Ticks
 			m.resEpoch[a.Trg]++
+			m.evacuateReserved(a, snap, queryID)
 			epoch := m.resEpoch[a.Trg]
 			// The QREPLY may be lost (chaos) or the period may roll over
 			// before the source acts — then no transfer toward Trg ever
@@ -168,7 +170,7 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 				if m.RT.ServerOf(a.Actor) == a.Trg || m.RT.MigratingTo(a.Actor) == a.Trg {
 					return // the admitted transfer went ahead
 				}
-				delete(m.reserved, a.Trg)
+				m.dropReservation(a.Trg)
 				m.Stats.ReleasedReservations++
 				m.tr.Emit(trace.Record{Kind: trace.KindDeny, Parent: queryID,
 					Tick: int32(m.Stats.Ticks), Server: int32(a.Trg), Target: -1,
@@ -206,6 +208,30 @@ func (m *Manager) queryAdmission(a Action, snap *epl.Snapshot, repin bool) {
 	})
 }
 
+// evacuateReserved clears a freshly dedicated server for its owner: the
+// resident actors (save the owner and pinned ones) drain to the least
+// loaded unreserved servers, like a scale-in drain (see
+// Config.ReserveEvacuate).
+func (m *Manager) evacuateReserved(a Action, snap *epl.Snapshot, parent uint64) {
+	if !m.Cfg.ReserveEvacuate {
+		return
+	}
+	targets := m.evacTargets(a.Trg, snap)
+	if len(targets) == 0 {
+		return
+	}
+	for i, ref := range m.RT.ActorsOn(a.Trg) {
+		if ref == a.Actor || m.RT.Pinned(ref) {
+			continue
+		}
+		m.RT.MigrateTraced(ref, targets[i%len(targets)], parent, func(ok bool) {
+			if ok {
+				m.Stats.ExecutedMigrations++
+			}
+		})
+	}
+}
+
 // execMigration carries out an admitted action via live migration; parent
 // is the admission record's trace id (0 untraced), inherited by the
 // migration's transfer record.
@@ -223,7 +249,7 @@ func (m *Manager) execMigration(a Action, repin bool, parent uint64) {
 		if ok {
 			m.Stats.ExecutedMigrations++
 		} else if a.Kind == epl.KindReserve && m.reserved[a.Trg] == a.Actor {
-			delete(m.reserved, a.Trg)
+			m.dropReservation(a.Trg)
 		}
 	})
 }

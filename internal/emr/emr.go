@@ -93,6 +93,24 @@ type Config struct {
 	// falling to the next class when a pool is exhausted. Empty keeps the
 	// legacy single-constant-boot provisioner.
 	ProvSpecs []cluster.ProvSpec
+	// ReserveTTL, when positive, is how many periods a granted reservation
+	// outlives the last reserve intent naming its owner: a reserve rule that
+	// stops firing (the anchor went cold, or the dedicated server pulled it
+	// back under the rule's threshold) lets the lease lapse and returns the
+	// server to the shared pool after ReserveTTL periods. Zero keeps the
+	// legacy behavior — reservations persist until the owner moves or dies —
+	// which on drifting workloads fragments the fleet one stale dedication
+	// at a time.
+	ReserveTTL int
+	// ReserveEvacuate, when set, drains a freshly dedicated server's other
+	// residents to the least loaded unreserved servers at grant time.
+	// Without it a dedication is exclusivity layered over whatever already
+	// lived there — the owner shares its "dedicated" CPU with the old
+	// residents, and balance cannot fix that because reserved servers are
+	// outside its scope. Off by default: the eviction burst costs transfer
+	// bandwidth, which only pays off when reservations target loaded
+	// servers (skewed streams), not when they land on idle ones.
+	ReserveEvacuate bool
 	// DefaultUpper is the admission bound used when a rule states no upper
 	// threshold.
 	DefaultUpper float64
@@ -182,6 +200,9 @@ type Stats struct {
 	// because the admitted transfer never started (lost QREPLY or period
 	// rollover before the source acted).
 	ReleasedReservations int
+	// ExpiredReservations counts reservations released because no reserve
+	// intent re-named their owner for Cfg.ReserveTTL periods.
+	ExpiredReservations int
 	// FailedProvisions counts scale-out provisions that never reached Up
 	// (boot retries exhausted, or crashed/decommissioned mid-boot).
 	FailedProvisions int
@@ -204,6 +225,10 @@ type Manager struct {
 	// release-on-timeout closure from an earlier grant cannot revoke a
 	// newer legitimate reservation of the same server.
 	resEpoch map[cluster.MachineID]uint64
+	// resLease records, per reserved server, the last tick a reserve intent
+	// named the reservation's owner (grants count); with Cfg.ReserveTTL set,
+	// cleanupReservations expires leases this stopped refreshing.
+	resLease map[cluster.MachineID]int
 	draining map[cluster.MachineID]bool
 
 	// OnTick, when set, observes each period's global snapshot before
@@ -345,6 +370,7 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		lems:     make(map[cluster.MachineID]*lem),
 		reserved: make(map[cluster.MachineID]actor.Ref),
 		resEpoch: make(map[cluster.MachineID]uint64),
+		resLease: make(map[cluster.MachineID]int),
 		draining: make(map[cluster.MachineID]bool),
 	}
 	// Copy the provisioning spectrum: specs are mutable (warm-pool
@@ -562,13 +588,47 @@ func (m *Manager) tick() {
 func (m *Manager) cleanupReservations() {
 	for srv, owner := range m.reserved {
 		if !m.RT.Exists(owner) {
-			delete(m.reserved, srv)
+			m.dropReservation(srv)
 			continue
 		}
 		if m.RT.ServerOf(owner) == srv || m.RT.MigratingTo(owner) == srv {
 			continue // settled on, or still being transferred to, srv
 		}
-		delete(m.reserved, srv)
+		m.dropReservation(srv)
+	}
+	m.expireReservations()
+}
+
+// dropReservation forgets a server's dedication and its lease bookkeeping.
+func (m *Manager) dropReservation(srv cluster.MachineID) {
+	delete(m.reserved, srv)
+	delete(m.resLease, srv)
+}
+
+// expireReservations is the ReserveTTL lease check: a reservation whose
+// owner no reserve intent has named for more than TTL periods goes back to
+// the shared pool (the owner stays put; only the exclusivity ends). Sorted
+// iteration keeps trace emission order deterministic.
+func (m *Manager) expireReservations() {
+	ttl := m.Cfg.ReserveTTL
+	if ttl <= 0 || len(m.reserved) == 0 {
+		return
+	}
+	srvs := make([]cluster.MachineID, 0, len(m.reserved))
+	for srv := range m.reserved {
+		srvs = append(srvs, srv)
+	}
+	sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+	for _, srv := range srvs {
+		if m.Stats.Ticks-m.resLease[srv] <= ttl {
+			continue
+		}
+		owner := m.reserved[srv]
+		m.dropReservation(srv)
+		m.Stats.ExpiredReservations++
+		m.tr.Emit(trace.Record{Kind: trace.KindDeny, Parent: m.trTick,
+			Tick: int32(m.Stats.Ticks), Server: int32(srv), Target: -1,
+			Actor: uint64(owner.ID), Rule: -1, Detail: "reserve-expired"})
 	}
 }
 

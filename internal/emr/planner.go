@@ -242,6 +242,13 @@ func (m *Manager) planResource(scope []cluster.MachineID, snap *epl.Snapshot, in
 	}
 	takenThisTick := map[cluster.MachineID]bool{}
 	for _, ri := range in.Reserve {
+		// A reserve intent naming a reservation's owner refreshes its lease:
+		// the rule still wants the dedication (see Config.ReserveTTL).
+		for srv, owner := range m.reserved {
+			if owner == ri.Actor {
+				m.resLease[srv] = m.Stats.Ticks
+			}
+		}
 		a, starved := m.planReserve(ri, snap, inScope, takenThisTick)
 		if a != nil {
 			takenThisTick[a.Trg] = true

@@ -266,6 +266,15 @@ var Registry = map[string]func(Config) *Result{
 	"burst_diurnal": BurstDiurnal,
 	"burst_region":  BurstRegion,
 	"burst_chaos":   BurstChaos,
+
+	// Windowed streaming family: skew-shift recovery race against the
+	// Elasticutor-style executor-level key repartitioner, hot-set drift,
+	// window spikes, and a shift composed with a GEM crash (see
+	// EXPERIMENTS.md).
+	"stream_skew":  StreamSkew,
+	"stream_drift": StreamDrift,
+	"stream_spike": StreamSpike,
+	"stream_chaos": StreamChaos,
 }
 
 // IDs returns the registered experiment ids in order.

@@ -177,7 +177,7 @@ func TestRenderIncludesHeaderAndSummary(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("registered experiments = %d, want 22 (every table and figure, chaos, the scale family with its shard twins, and the burst family)", len(ids))
+	if len(ids) != 26 {
+		t.Fatalf("registered experiments = %d, want 26 (every table and figure, chaos, the scale family with its shard twins, and the burst and stream families)", len(ids))
 	}
 }

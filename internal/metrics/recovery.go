@@ -1,0 +1,111 @@
+package metrics
+
+// RecoveryTracker measures recovery time after workload shifts: feed it the
+// per-tick value of a latency signal (e.g. the p99 window latency of a
+// streaming job) plus the instants the workload shifted (a hot-key rotation,
+// a spike ending), and it reports, per shift, how long the signal took to
+// re-enter the SLO — the first observation at or after the shift whose value
+// is back at or below the threshold.
+//
+// Elasticutor frames exactly this as the metric that separates executor-level
+// key repartitioning from operator-level scaling: both eventually rebalance,
+// but recovery *time* after a skew shift differs by an order of magnitude.
+//
+// Semantics, including the edge cases pinned by tests:
+//
+//   - A shift's measurement window runs from the shift instant to the next
+//     shift (or the finalize horizon). A second shift before the first
+//     recovery truncates the first window: the first shift reports
+//     unrecovered with its window span as a lower bound.
+//   - A shift at tick 0 is legal; if the very first observation is already
+//     compliant, recovery time is that observation's timestamp.
+//   - If no compliant observation lands inside the window, the shift is
+//     unrecovered: Seconds is the full window span (a lower bound, flagged
+//     by Recovered=false) rather than an arbitrary sentinel.
+//
+// Times are plain float64 seconds, like SLOTracker, so the package stays
+// free of simulator imports.
+type RecoveryTracker struct {
+	SLO float64
+
+	shifts []float64
+	obs    []recObs
+}
+
+type recObs struct{ t, v float64 }
+
+// Recovery is one shift's measured outcome.
+type Recovery struct {
+	ShiftAt float64
+	// RecoveredAt is the timestamp of the first compliant observation at or
+	// after the shift (meaningless when !Recovered).
+	RecoveredAt float64
+	// Seconds is RecoveredAt-ShiftAt when recovered; otherwise the span of
+	// the measurement window (a lower bound on the true recovery time).
+	Seconds   float64
+	Recovered bool
+}
+
+// NewRecoveryTracker creates a tracker for the given SLO threshold: values
+// at or below it count as compliant.
+func NewRecoveryTracker(slo float64) *RecoveryTracker {
+	return &RecoveryTracker{SLO: slo}
+}
+
+// Shift records a workload shift at time t. Shifts must be recorded in
+// nondecreasing time order.
+func (r *RecoveryTracker) Shift(t float64) { r.shifts = append(r.shifts, t) }
+
+// Observe records the signal's value at time t. Observations must be fed in
+// nondecreasing time order; they may be interleaved with Shift calls or all
+// appended after the run (the tracker only orders by timestamp).
+func (r *RecoveryTracker) Observe(t, v float64) { r.obs = append(r.obs, recObs{t, v}) }
+
+// Recoveries evaluates every recorded shift against the observations, with
+// measurement windows closed at horizon (the end of the run). Shifts at or
+// after the horizon report an empty, unrecovered window.
+func (r *RecoveryTracker) Recoveries(horizon float64) []Recovery {
+	out := make([]Recovery, len(r.shifts))
+	for i, s := range r.shifts {
+		end := horizon
+		if i+1 < len(r.shifts) && r.shifts[i+1] < end {
+			end = r.shifts[i+1]
+		}
+		rec := Recovery{ShiftAt: s, Seconds: end - s}
+		if rec.Seconds < 0 {
+			rec.Seconds = 0
+		}
+		for _, o := range r.obs {
+			if o.t < s || o.t >= end {
+				continue
+			}
+			if o.v <= r.SLO {
+				rec.Recovered = true
+				rec.RecoveredAt = o.t
+				rec.Seconds = o.t - s
+				break
+			}
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// MeanRecovery aggregates Recoveries: the mean Seconds across all shifts
+// (unrecovered shifts contribute their window span, keeping the mean a
+// lower bound) and how many of them actually recovered. A tracker with no
+// shifts reports (0, 0).
+func (r *RecoveryTracker) MeanRecovery(horizon float64) (mean float64, recovered int) {
+	recs := r.Recoveries(horizon)
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, rec := range recs {
+		sum += rec.Seconds
+		if rec.Recovered {
+			recovered++
+		}
+	}
+	return sum / float64(len(recs)), recovered
+}

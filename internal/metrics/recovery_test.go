@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecoveryBasic(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Observe(1, 10)
+	r.Observe(2, 12)
+	r.Shift(2.5)
+	r.Observe(3, 400) // violating after the shift
+	r.Observe(4, 300)
+	r.Observe(5, 40) // first compliant tick
+	r.Observe(6, 20)
+	recs := r.Recoveries(10)
+	if len(recs) != 1 {
+		t.Fatalf("want 1 recovery, got %d", len(recs))
+	}
+	rec := recs[0]
+	if !rec.Recovered || rec.RecoveredAt != 5 || rec.Seconds != 2.5 {
+		t.Fatalf("recovery = %+v, want recovered at t=5 after 2.5s", rec)
+	}
+	mean, n := r.MeanRecovery(10)
+	if mean != 2.5 || n != 1 {
+		t.Fatalf("MeanRecovery = %v, %d; want 2.5, 1", mean, n)
+	}
+}
+
+// A shift at tick 0 measures from time zero; an immediately-compliant first
+// observation recovers at its own timestamp.
+func TestRecoveryShiftAtTickZero(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Shift(0)
+	r.Observe(0, 10)
+	recs := r.Recoveries(10)
+	if !recs[0].Recovered || recs[0].Seconds != 0 || recs[0].RecoveredAt != 0 {
+		t.Fatalf("shift at 0 with compliant t=0 observation: %+v, want 0s recovery", recs[0])
+	}
+
+	// Same shape but the signal starts violating: recovery is the first
+	// compliant tick's timestamp, measured from zero.
+	r2 := NewRecoveryTracker(50)
+	r2.Shift(0)
+	r2.Observe(0, 500)
+	r2.Observe(1, 200)
+	r2.Observe(2, 30)
+	recs = r2.Recoveries(10)
+	if !recs[0].Recovered || recs[0].Seconds != 2 {
+		t.Fatalf("shift at 0: %+v, want 2s recovery", recs[0])
+	}
+}
+
+// A signal that never re-enters the SLO before the horizon reports
+// unrecovered, with the full window span as the lower bound — not zero, not
+// an infinity that would poison a mean.
+func TestRecoveryNeverReentersBeforeHorizon(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Shift(2)
+	r.Observe(3, 400)
+	r.Observe(4, 900)
+	r.Observe(5, 800)
+	recs := r.Recoveries(6)
+	rec := recs[0]
+	if rec.Recovered {
+		t.Fatalf("signal never complied but reported recovered: %+v", rec)
+	}
+	if rec.Seconds != 4 {
+		t.Fatalf("unrecovered Seconds = %v, want window span 4 (horizon 6 - shift 2)", rec.Seconds)
+	}
+	mean, n := r.MeanRecovery(6)
+	if n != 0 || mean != 4 || math.IsInf(mean, 0) || math.IsNaN(mean) {
+		t.Fatalf("MeanRecovery = %v, %d; want finite lower bound 4 with 0 recovered", mean, n)
+	}
+}
+
+// A second shift arriving before the first recovery truncates the first
+// shift's window: the first reports unrecovered over its (short) window and
+// the second gets its own full measurement, so compliant ticks after the
+// second shift are never credited to the first.
+func TestRecoverySecondShiftBeforeFirstRecovery(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Shift(2)
+	r.Observe(3, 400)
+	r.Observe(4, 300)
+	r.Shift(5) // hot set rotates again while still violating
+	r.Observe(6, 200)
+	r.Observe(7, 30) // compliant — inside shift 2's window only
+	recs := r.Recoveries(10)
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recoveries, got %d", len(recs))
+	}
+	if recs[0].Recovered {
+		t.Fatalf("first shift credited a recovery from after the second shift: %+v", recs[0])
+	}
+	if recs[0].Seconds != 3 {
+		t.Fatalf("first shift window = %v, want truncated span 3 (5-2)", recs[0].Seconds)
+	}
+	if !recs[1].Recovered || recs[1].Seconds != 2 {
+		t.Fatalf("second shift = %+v, want recovery after 2s (t=7)", recs[1])
+	}
+}
+
+// Compliant observations from before a shift must not count toward it, and
+// the boundary observation exactly at the shift instant belongs to the
+// shifted window.
+func TestRecoveryIgnoresPreShiftObservations(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Observe(1, 10) // compliant, but before the shift
+	r.Shift(2)
+	r.Observe(2, 20) // at the shift instant: counts
+	recs := r.Recoveries(10)
+	if !recs[0].Recovered || recs[0].Seconds != 0 || recs[0].RecoveredAt != 2 {
+		t.Fatalf("boundary observation mishandled: %+v", recs[0])
+	}
+}
+
+// A shift at (or past) the horizon has an empty window: unrecovered, zero
+// span, and it must not make Seconds negative.
+func TestRecoveryShiftAtHorizon(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Shift(10)
+	r.Observe(9, 10)
+	recs := r.Recoveries(10)
+	if recs[0].Recovered || recs[0].Seconds != 0 {
+		t.Fatalf("shift at horizon: %+v, want empty unrecovered window", recs[0])
+	}
+}
+
+func TestRecoveryNoShifts(t *testing.T) {
+	r := NewRecoveryTracker(50)
+	r.Observe(1, 10)
+	if recs := r.Recoveries(10); len(recs) != 0 {
+		t.Fatalf("no shifts recorded but got %v", recs)
+	}
+	mean, n := r.MeanRecovery(10)
+	if mean != 0 || n != 0 {
+		t.Fatalf("MeanRecovery with no shifts = %v, %d; want 0, 0", mean, n)
+	}
+}

@@ -100,6 +100,11 @@ const (
 	// KindShed is an overloaded actor rejecting a delivery because its
 	// bounded mailbox is full (Value is the mailbox capacity).
 	KindShed
+	// KindHandoff is an executor-level key-range handoff in the Elasticutor
+	// baseline (Server=src server, Target=dst server, Actor=src executor,
+	// Value=state bytes moved, Detail=key count) — the baseline's analogue
+	// of a transfer/commit pair.
+	KindHandoff
 	numKinds
 )
 
@@ -108,7 +113,7 @@ var kindNames = [numKinds]string{
 	"stale-report", "gem-eval", "propose", "resolve-drop", "query",
 	"admit", "deny", "transfer", "commit", "rollback", "scale-out",
 	"scale-in", "provision", "machine-up", "decommission", "crash",
-	"repair", "chaos", "prov-fail", "prov-retry", "shed",
+	"repair", "chaos", "prov-fail", "prov-retry", "shed", "handoff",
 }
 
 func (k Kind) String() string {
