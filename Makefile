@@ -20,7 +20,7 @@ COVER_PROFILE ?= coverage.out
 # Scratch dir for the trace round-trip smoke test.
 TRACE_SMOKE_DIR ?= .trace-smoke
 
-.PHONY: build test vet race bench bench-quick bench-baseline bench-shards burst-quick stream-quick lint lint-model cover trace-smoke verify
+.PHONY: build test vet race bench bench-quick bench-baseline bench-shards burst-quick stream-quick plan-quick lint lint-model cover trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,16 @@ burst-quick:
 stream-quick:
 	$(GO) run ./cmd/plasma-sim stream_skew stream_chaos
 	$(GO) test -run 'TestStream' ./internal/experiments/
+
+# plan-quick runs the batched-planner family at quick sizes: both plan_*
+# races (batch multi-resource round vs the legacy greedy, DESIGN.md §11),
+# the planner unit/regression suite (band-math fixes, batch packing,
+# affinity anchoring, transfer pipelining), and the decision-throughput
+# benchmark at its quick scale.
+plan-quick:
+	$(GO) run ./cmd/plasma-sim plan_pagerank plan_halo
+	$(GO) test -run 'TestPlan|TestBatch|TestGroupAnchor|TestDecisionBench|TestXfer' ./internal/emr/ ./internal/experiments/ ./internal/actor/
+	$(GO) test -bench 'PlannerDecision/64k' -benchtime 1x -run '^$$' ./internal/emr/
 
 # lint runs the determinism linter over all simulator and CLI code; any
 # wall-clock read, global math/rand use, or unsorted map-order output fails

@@ -37,6 +37,7 @@ package actor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"plasma/internal/cluster"
 	"plasma/internal/sim"
@@ -179,6 +180,18 @@ type Runtime struct {
 	// limit — overload degrades gracefully rather than melting down. Zero
 	// keeps the legacy unbounded mailboxes.
 	MailboxCap int
+
+	// XferPipeline routes migration state transfers through a per-NIC
+	// scheduler: a destination's inbound NIC ingests one state stream at a
+	// time at the existing per-byte cost, so batched transfers into the
+	// same server queue behind each other while transfers to distinct
+	// destinations overlap. The batch planner (emr Config.Planner =
+	// "batch") turns it on; off by default, migrations keep the legacy
+	// contention-free latency model, byte-identical to pinned runs.
+	XferPipeline bool
+	// nicBusy is when each destination's inbound NIC next frees. Written
+	// only from the global phase (migTransfer), like all migration state.
+	nicBusy map[cluster.MachineID]sim.Time
 	// shed is striped per kernel shard (deliver runs on the receiving
 	// machine's shard); ShedRequests sums the stripes.
 	shed []int64
@@ -820,6 +833,14 @@ func (rt *Runtime) beginMigration(inst *instance) {
 
 // migTransfer is the post-serialize step: charge the state transfer to
 // both NICs and schedule the arrival. Global phase.
+//
+// With XferPipeline set, the transfer first waits for earlier state
+// streams into the same destination NIC to drain: the wire time itself is
+// unchanged (the same per-byte TransferLatency pricing), but concurrent
+// arrivals at one server serialize instead of magically sharing infinite
+// ingest bandwidth, while transfers to distinct destinations overlap. Each
+// pipelined transfer emits a KindXferPipeline record carrying its wire
+// time and how long it queued.
 func (rt *Runtime) migTransfer(mig *migration, serCost sim.Duration) {
 	if !rt.migValid(mig) {
 		return
@@ -828,6 +849,22 @@ func (rt *Runtime) migTransfer(mig *migration, serCost sim.Duration) {
 	lat := rt.C.TransferLatency(src, dst, inst.memSize)
 	rt.C.Machine(src).AddNetBytes(inst.memSize)
 	rt.C.Machine(dst).AddNetBytes(inst.memSize)
+	if rt.XferPipeline {
+		if rt.nicBusy == nil {
+			rt.nicBusy = make(map[cluster.MachineID]sim.Time)
+		}
+		now := rt.K.Now()
+		start := now
+		if busy := rt.nicBusy[dst]; busy > start {
+			start = busy
+		}
+		wait := sim.Duration(start - now)
+		rt.nicBusy[dst] = start + sim.Time(lat)
+		rt.tr.Emit(trace.Record{Kind: trace.KindXferPipeline, Parent: mig.traceID,
+			Server: int32(src), Target: int32(dst), Actor: uint64(inst.id), Rule: -1,
+			Value: float64(lat), Detail: "wait=" + strconv.FormatInt(int64(wait), 10) + "us"})
+		lat += wait
+	}
 	rt.K.After(lat, func() {
 		if !rt.migValid(mig) {
 			return

@@ -1,0 +1,140 @@
+package actor
+
+import (
+	"testing"
+
+	"plasma/internal/cluster"
+	"plasma/internal/sim"
+	"plasma/internal/trace"
+)
+
+// stateful sets a fixed state size on its first message so migrations have
+// a real transfer cost.
+func statefulActor(bytes int64) Behavior {
+	return BehaviorFunc(func(ctx *Context, msg Message) {
+		ctx.SetMemSize(bytes)
+		ctx.Use(sim.Microsecond)
+	})
+}
+
+// prime spawns an actor on srv with the given state size and processes one
+// message so the size takes effect.
+func primeActor(k *sim.Kernel, rt *Runtime, srv cluster.MachineID, bytes int64) Ref {
+	ref := rt.SpawnOn("S", statefulActor(bytes), srv)
+	cl := NewClient(rt, srv)
+	cl.Request(ref, "init", nil, 1, nil)
+	k.RunUntilIdle()
+	return ref
+}
+
+// migrateAll starts every migration at the same instant and reports each
+// completion time.
+func migrateAll(k *sim.Kernel, rt *Runtime, moves map[Ref]cluster.MachineID) map[Ref]sim.Time {
+	done := map[Ref]sim.Time{}
+	for ref, dst := range moves {
+		ref, dst := ref, dst
+		rt.Migrate(ref, dst, func(ok bool) {
+			if ok {
+				done[ref] = k.Now()
+			}
+		})
+	}
+	k.RunUntilIdle()
+	return done
+}
+
+// Two simultaneous transfers into the same destination NIC must serialize
+// under the pipeline: the later one finishes roughly one wire time after
+// the earlier, where without the pipeline both land together.
+func TestXferPipelineSerializesSameDestination(t *testing.T) {
+	const state = 64 << 20 // 64 MB over a 1000 Mbps NIC: ~512 ms wire time
+
+	run := func(pipeline bool) (spread sim.Duration) {
+		k, _, rt := testEnv(t, 3)
+		rt.XferPipeline = pipeline
+		a := primeActor(k, rt, 0, state)
+		b := primeActor(k, rt, 1, state)
+		done := migrateAll(k, rt, map[Ref]cluster.MachineID{a: 2, b: 2})
+		if len(done) != 2 {
+			t.Fatalf("pipeline=%v: %d migrations completed, want 2", pipeline, len(done))
+		}
+		d := done[a] - done[b]
+		if d < 0 {
+			d = -d
+		}
+		return sim.Duration(d)
+	}
+
+	unpiped := run(false)
+	piped := run(true)
+	wireSec := float64(state) * 8 / 1e6 / 1000
+	wire := sim.Duration(wireSec * float64(sim.Second))
+	if unpiped >= wire/2 {
+		t.Fatalf("without the pipeline concurrent arrivals should land near-together, spread %v", unpiped)
+	}
+	if piped < wire/2 {
+		t.Fatalf("pipelined same-destination transfers spread %v, want about one wire time (%v)", piped, wire)
+	}
+}
+
+// Transfers to distinct destinations do not queue: with the pipeline on,
+// both complete exactly when the contention-free model says they would.
+func TestXferPipelineOverlapsDistinctDestinations(t *testing.T) {
+	const state = 64 << 20
+
+	run := func(pipeline bool) (at [2]sim.Time) {
+		k, _, rt := testEnv(t, 4)
+		rt.XferPipeline = pipeline
+		a := primeActor(k, rt, 0, state)
+		b := primeActor(k, rt, 1, state)
+		done := migrateAll(k, rt, map[Ref]cluster.MachineID{a: 2, b: 3})
+		if len(done) != 2 {
+			t.Fatalf("pipeline=%v: %d migrations completed, want 2", pipeline, len(done))
+		}
+		return [2]sim.Time{done[a], done[b]}
+	}
+
+	if run(false) != run(true) {
+		t.Fatal("distinct-destination transfers must be unaffected by the pipeline")
+	}
+}
+
+// Every pipelined transfer leaves an xfer-pipeline record parented to its
+// transfer record, with the queue wait in Detail.
+func TestXferPipelineTraced(t *testing.T) {
+	k, _, rt := testEnv(t, 3)
+	ring := trace.NewRing(1 << 12)
+	rt.SetTracer(trace.New(ring))
+	rt.XferPipeline = true
+	a := primeActor(k, rt, 0, 64<<20)
+	b := primeActor(k, rt, 1, 64<<20)
+	migrateAll(k, rt, map[Ref]cluster.MachineID{a: 2, b: 2})
+
+	var recs []trace.Record
+	byID := map[uint64]trace.Record{}
+	for _, r := range ring.Records() {
+		byID[r.ID] = r
+		if r.Kind == trace.KindXferPipeline {
+			recs = append(recs, r)
+		}
+	}
+	if len(recs) != 2 {
+		t.Fatalf("xfer-pipeline records = %d, want one per transfer", len(recs))
+	}
+	sawWait := false
+	for _, r := range recs {
+		parent, ok := byID[r.Parent]
+		if !ok || parent.Kind != trace.KindTransfer {
+			t.Fatalf("record %+v not parented to a transfer", r)
+		}
+		if r.Value <= 0 {
+			t.Fatalf("record %+v carries no wire time", r)
+		}
+		if r.Detail != "wait=0us" {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Fatal("second same-destination transfer recorded no queue wait")
+	}
+}

@@ -1,0 +1,431 @@
+package emr
+
+import (
+	"fmt"
+	"sort"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+	"plasma/internal/graph"
+	"plasma/internal/trace"
+)
+
+// Batched multi-resource planning round (Config.Planner = "batch").
+//
+// The legacy planner (planner.go) walks intents one at a time: each balance
+// rule greedily sheds its own resource axis with no knowledge of the other
+// axes, reservations and balance moves are planned against the same static
+// loads, and colocation anchors by resident memory. The batch round instead
+// collects the period's reserve and balance intents and solves one
+// deterministic greedy packing pass over per-server (cpu, mem, net)
+// utilization vectors:
+//
+//   - every planned move updates a shared projection, so a later intent
+//     sees the fleet as the earlier ones will leave it;
+//   - a target must fit the mover on *all three* axes (the planned axis
+//     under the rule's upper bound, the others under the admission bound),
+//     so multi-resource conflicts are caught at plan time instead of being
+//     denied at admission a hop later;
+//   - among fitting targets the mover's communication affinity decides
+//     (the profiled message-rate graph, internal/graph), so chatty actors
+//     batch toward common destinations and colocate groups anchor where
+//     the group's traffic already lands;
+//   - the resulting migrations execute through the per-NIC transfer
+//     pipeline (actor.Runtime.XferPipeline), which the batch planner turns
+//     on at Manager construction.
+//
+// Determinism argument: servers are scanned in snapshot (id) order, over
+// sources are sorted by (load desc, id asc), candidates come from
+// balanceCandidates' stable heaviest-first order, affinity adjacency is
+// id-sorted, and every tiebreak ends at the lowest server id. No map is
+// iterated without an intervening sort. At a fixed seed the round is
+// byte-reproducible, which the plan_* experiment gates check.
+//
+// The legacy planner remains the default and is byte-frozen: with Planner
+// unset nothing in this file runs.
+
+// axisIdx maps a Resource to its ResVec axis.
+func axisIdx(r epl.Resource) int {
+	for i, rr := range epl.Resources {
+		if rr == r {
+			return i
+		}
+	}
+	return 0
+}
+
+// loadVecOn is loadOn across all three axes: the actor's projected
+// utilization vector on the target, capacity-rescaled per axis.
+func (m *Manager) loadVecOn(ai *epl.ActorInfo, trg cluster.MachineID, snap *epl.Snapshot) [3]float64 {
+	return [3]float64{
+		m.loadOn(ai, epl.CPU, trg, snap),
+		m.loadOn(ai, epl.Mem, trg, snap),
+		m.loadOn(ai, epl.Net, trg, snap),
+	}
+}
+
+// buildAffinity folds the snapshot's profiled call stats into an undirected
+// actor communication graph, weighted by message count per window. Client
+// calls (Caller.ID == 0) have no actor peer and are skipped.
+func buildAffinity(snap *epl.Snapshot) *graph.Affinity {
+	af := graph.NewAffinity()
+	for _, ai := range snap.Actors {
+		for _, cs := range ai.Calls {
+			if cs.Caller.ID == 0 {
+				continue
+			}
+			af.Add(int64(ai.Ref.ID), int64(cs.Caller.ID), float64(cs.Count))
+		}
+	}
+	return af
+}
+
+// batchState is the shared projection the packing round mutates.
+type batchState struct {
+	servers []cluster.MachineID                  // packing set, id order
+	proj    map[cluster.MachineID]*[3]float64    // projected (cpu, mem, net)
+	dest    map[actor.ID]cluster.MachineID       // planned destinations this round
+	af      *graph.Affinity
+	snap    *epl.Snapshot
+}
+
+// affTo is the mover's communication affinity to a target: summed edge
+// weight toward peers resident there, counting peers already planned to
+// move there this round.
+func (bs *batchState) affTo(id actor.ID, trg cluster.MachineID) float64 {
+	var s float64
+	for _, e := range bs.af.Peers(int64(id)) {
+		p := actor.ID(e.Peer)
+		srv, planned := bs.dest[p]
+		if !planned {
+			pi := bs.snap.Actor(actor.Ref{ID: p})
+			if pi == nil {
+				continue
+			}
+			srv = pi.Server
+		}
+		if srv == trg {
+			s += e.Weight
+		}
+	}
+	return s
+}
+
+// planResourceBatch is the batch-mode replacement for planResource: same
+// contract (actions plus the scale signals), one packing round instead of
+// per-intent greedy shedding. parent/tickIdx anchor the plan-batch trace
+// record to the GEM evaluation that produced the intents.
+func (m *Manager) planResourceBatch(scope []cluster.MachineID, snap *epl.Snapshot, in *epl.Intents, parent uint64, tickIdx int) (actions []Action, allOver, allUnder bool, outNeed int, wantIn bool) {
+	inScope := map[cluster.MachineID]bool{}
+	for _, id := range scope {
+		inScope[id] = true
+	}
+
+	// Reservations first, exactly like the legacy round (planReserve itself
+	// carries the batch-mode lexicographic target tiebreak): they are the
+	// most specific placement demands and remove their servers from the
+	// packing set.
+	takenThisTick := map[cluster.MachineID]bool{}
+	nResv := 0
+	for _, ri := range in.Reserve {
+		for srv, owner := range m.reserved {
+			if owner == ri.Actor {
+				m.resLease[srv] = m.Stats.Ticks
+			}
+		}
+		a, starved := m.planReserve(ri, snap, inScope, takenThisTick)
+		if a != nil {
+			takenThisTick[a.Trg] = true
+			actions = append(actions, *a)
+			nResv++
+		}
+		if starved {
+			outNeed++
+		}
+	}
+
+	// Packing set: scoped, up, shared-pool servers, with their projected
+	// multi-resource vectors. Servers dedicated this very tick are excluded
+	// — the legacy planner would still balance onto them, only to be denied
+	// at admission.
+	bs := &batchState{
+		proj: map[cluster.MachineID]*[3]float64{},
+		dest: map[actor.ID]cluster.MachineID{},
+		af:   buildAffinity(snap),
+		snap: snap,
+	}
+	for _, srv := range snap.Servers {
+		if !srv.Up || !inScope[srv.ID] || m.draining[srv.ID] || takenThisTick[srv.ID] {
+			continue
+		}
+		if _, taken := m.reserved[srv.ID]; taken {
+			continue
+		}
+		v := srv.ResVec()
+		bs.servers = append(bs.servers, srv.ID)
+		bs.proj[srv.ID] = &v
+	}
+	if len(bs.servers) == 0 {
+		m.traceBatch(parent, tickIdx, actions, nResv, 0, 0)
+		return actions, false, false, outNeed, false
+	}
+
+	nOverTotal, nUnderTotal := 0, 0
+	for _, bi := range in.Balance {
+		acts, over, under, out, in2 := m.packBalance(bi, bs)
+		actions = append(actions, acts...)
+		allOver = allOver || over
+		allUnder = allUnder || under
+		if out {
+			outNeed++
+		}
+		wantIn = wantIn || in2
+		no, nu := m.bandCounts(bi, bs)
+		nOverTotal += no
+		nUnderTotal += nu
+	}
+	m.traceBatch(parent, tickIdx, actions, nResv, nOverTotal, nUnderTotal)
+	return actions, allOver, allUnder, outNeed, wantIn
+}
+
+// bandCounts reports how many packing-set servers remain over/under the
+// intent's band after the round (the plan-batch record's summary).
+func (m *Manager) bandCounts(bi epl.BalanceIntent, bs *batchState) (nOver, nUnder int) {
+	upper, lower := m.bandOf(bi)
+	ax := axisIdx(bi.Res)
+	for _, id := range bs.servers {
+		switch l := bs.proj[id][ax]; {
+		case l > upper:
+			nOver++
+		case l < lower:
+			nUnder++
+		}
+	}
+	return nOver, nUnder
+}
+
+// bandOf applies the rule's threshold defaulting (planBalance's rules).
+func (m *Manager) bandOf(bi epl.BalanceIntent) (upper, lower float64) {
+	upper = bi.Upper
+	lower = bi.Lower
+	if !bi.HasUpper() {
+		upper = m.Cfg.DefaultUpper
+	}
+	if !bi.HasLower() {
+		lower = upper
+	}
+	return upper, lower
+}
+
+// packBalance runs one balance intent through the shared packing state:
+// over-upper sources shed heaviest-first into multi-resource, affinity-
+// scored targets; the low-water side reuses planDeficitFill over the
+// projected loads. Scale signals keep planBalance's semantics.
+func (m *Manager) packBalance(bi epl.BalanceIntent, bs *batchState) (actions []Action, allOver, allUnder, wantOut, wantIn bool) {
+	upper, lower := m.bandOf(bi)
+	ax := axisIdx(bi.Res)
+
+	var over []srvLoad
+	nOver, nUnder, total := 0, 0, 0
+	for _, id := range bs.servers {
+		total++
+		load := bs.proj[id][ax]
+		if load > upper {
+			nOver++
+			over = append(over, srvLoad{id, load})
+		} else if load < lower {
+			nUnder++
+		}
+	}
+	if total == 0 {
+		return nil, false, false, false, false
+	}
+	allOver = nOver == total
+	allUnder = nUnder == total
+	wantIn = allUnder && total > m.Cfg.MinServers
+
+	if len(over) == 0 {
+		// Low-water redistribution on the projected loads: planDeficitFill
+		// already carries the band-relative thresholds. Its accounting is
+		// axis-local; apply the moves to the shared projection so later
+		// intents see them.
+		if nUnder > 0 && bi.HasLower() {
+			minSource := 0.0
+			if bi.HasUpper() {
+				minSource = (upper + lower) / 2
+			}
+			cur := make([]srvLoad, 0, len(bs.servers))
+			for _, id := range bs.servers {
+				cur = append(cur, srvLoad{id, bs.proj[id][ax]})
+			}
+			actions = m.planDeficitFill(bi, bs.snap, cur, lower, upper-lower, minSource)
+			for _, a := range actions {
+				ai := bs.snap.Actor(a.Actor)
+				bs.proj[a.Src][ax] -= ai.ResOf(bi.Res)
+				bs.proj[a.Trg][ax] += m.loadOn(ai, bi.Res, a.Trg, bs.snap)
+				bs.dest[a.Actor.ID] = a.Trg
+			}
+		}
+		return actions, allOver, allUnder, false, wantIn
+	}
+
+	sort.Slice(over, func(i, j int) bool {
+		if over[i].load != over[j].load {
+			return over[i].load > over[j].load
+		}
+		return over[i].id < over[j].id
+	})
+
+	for _, src := range over {
+		cands := m.balanceCandidates(src.id, bi, bs.snap)
+		// Shed the candidates that least want to be here first: evicting an
+		// actor away from its own traffic only recreates the remote chatter
+		// somewhere else. Stable, so equal-affinity candidates keep the
+		// heaviest-first shed order.
+		sort.SliceStable(cands, func(i, j int) bool {
+			return bs.affTo(cands[i].Ref.ID, src.id) < bs.affTo(cands[j].Ref.ID, src.id)
+		})
+		for _, ai := range cands {
+			if bs.proj[src.id][ax] <= upper {
+				break
+			}
+			if _, planned := bs.dest[ai.Ref.ID]; planned {
+				continue // an earlier intent already moves it
+			}
+			use := ai.ResOf(bi.Res)
+			if use <= 0 {
+				break
+			}
+			trg := m.pickBatchTarget(ai, bi, upper, ax, src.id, bs)
+			if trg < 0 {
+				wantOut = true
+				continue // a lighter candidate may still fit
+			}
+			actions = append(actions, Action{
+				Actor: ai.Ref, Src: src.id, Trg: trg,
+				Kind: epl.KindBalance, Res: bi.Res,
+				Pri: m.Cfg.priority(epl.KindBalance),
+			})
+			add := m.loadVecOn(ai, trg, bs.snap)
+			vec := ai.ResVec()
+			for x := 0; x < 3; x++ {
+				bs.proj[src.id][x] -= vec[x]
+				bs.proj[trg][x] += add[x]
+			}
+			bs.dest[ai.Ref.ID] = trg
+		}
+		if bs.proj[src.id][ax] > upper {
+			wantOut = true // unresolved overload is scale-out pressure
+		}
+	}
+	if allOver {
+		wantOut = true
+	}
+	return actions, allOver, allUnder, wantOut, wantIn
+}
+
+// pickBatchTarget chooses where a mover goes: the target must fit it on
+// every axis (the planned axis under the rule's upper bound, the others
+// under the admission bound), and among fits the highest communication
+// affinity wins, then the lowest projected load on the planned axis, then
+// the lowest server id.
+func (m *Manager) pickBatchTarget(ai *epl.ActorInfo, bi epl.BalanceIntent, upper float64, ax int, src cluster.MachineID, bs *batchState) cluster.MachineID {
+	best := cluster.MachineID(-1)
+	bestAff, bestLoad := 0.0, 0.0
+	for _, id := range bs.servers {
+		if id == src {
+			continue
+		}
+		add := m.loadVecOn(ai, id, bs.snap)
+		p := bs.proj[id]
+		fits := true
+		for x := 0; x < 3; x++ {
+			bound := m.Cfg.DefaultUpper
+			if x == ax {
+				bound = upper
+			}
+			if p[x]+add[x] > bound {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		aff := bs.affTo(ai.Ref.ID, id)
+		load := p[ax]
+		if best < 0 || aff > bestAff || (aff == bestAff && load < bestLoad) {
+			best, bestAff, bestLoad = id, aff, load
+		}
+	}
+	return best
+}
+
+// groupAnchorAffinity is the batch-mode colocation anchor fallback: the
+// group lives where its internal communication already lands. Per server,
+// the members resident there contribute their intra-group message weight;
+// the highest total wins, ties to resident state mass, then the lowest
+// server id. ok is false when the group exchanged no profiled messages
+// (the caller falls back to the legacy mass rule).
+func (m *Manager) groupAnchorAffinity(members []*epl.ActorInfo) (dest cluster.MachineID, anchor actor.Ref, ok bool) {
+	inGroup := map[actor.ID]bool{}
+	for _, mem := range members {
+		inGroup[mem.Ref.ID] = true
+	}
+	af := graph.NewAffinity()
+	for _, mem := range members {
+		for _, cs := range mem.Calls {
+			if inGroup[cs.Caller.ID] {
+				af.Add(int64(mem.Ref.ID), int64(cs.Caller.ID), float64(cs.Count))
+			}
+		}
+	}
+	if af.Nodes() == 0 {
+		return -1, actor.Ref{}, false
+	}
+	comm := map[cluster.MachineID]float64{}
+	mass := map[cluster.MachineID]int64{}
+	for _, mem := range members {
+		for _, e := range af.Peers(int64(mem.Ref.ID)) {
+			comm[mem.Server] += e.Weight
+		}
+		mass[mem.Server] += mem.MemBytes + 1
+	}
+	ids := make([]cluster.MachineID, 0, len(mass))
+	for id := range mass {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dest = -1
+	var bestComm float64
+	var bestMass int64
+	for _, id := range ids {
+		if dest < 0 || comm[id] > bestComm || (comm[id] == bestComm && mass[id] > bestMass) {
+			dest, bestComm, bestMass = id, comm[id], mass[id]
+		}
+	}
+	for _, mem := range members {
+		if mem.Server == dest {
+			anchor = mem.Ref
+			break
+		}
+	}
+	return dest, anchor, true
+}
+
+// traceBatch emits the round's plan-batch summary record.
+func (m *Manager) traceBatch(parent uint64, tickIdx int, actions []Action, nResv, nOver, nUnder int) {
+	if !m.tr.Enabled() {
+		return
+	}
+	dsts := map[cluster.MachineID]bool{}
+	for _, a := range actions {
+		dsts[a.Trg] = true
+	}
+	m.tr.Emit(trace.Record{Kind: trace.KindPlanBatch, Parent: parent,
+		Tick: int32(tickIdx), Server: -1, Target: -1, Rule: -1,
+		Value: float64(len(actions)),
+		Detail: fmt.Sprintf("resv=%d moves=%d dsts=%d over=%d under=%d",
+			nResv, len(actions)-nResv, len(dsts), nOver, nUnder)})
+}

@@ -114,12 +114,25 @@ type Config struct {
 	// DefaultUpper is the admission bound used when a rule states no upper
 	// threshold.
 	DefaultUpper float64
+	// Planner selects the GEM planning strategy. Empty or "legacy" keeps
+	// the historical one-intent-at-a-time greedy planner, byte-identical
+	// at fixed seed to every pinned experiment. "batch" collects the
+	// period's balance/reserve intents into one deterministic
+	// multi-resource (CPU/mem/net) packing round, colocates by
+	// communication affinity, and executes the resulting migrations
+	// through the per-NIC transfer pipeline (DESIGN.md §11).
+	Planner string
 	// Priorities orders conflicting actions; higher wins. Zero value uses
 	// the defaults (reserve > pin > balance > colocate > separate: reserve
 	// is the most specific placement demand, pin blocks everything below
 	// it, and balance outranks colocate as in the paper's §4.3 example).
 	Priorities map[epl.BehaviorKind]int
 }
+
+// batchPlanner reports whether the batched multi-resource planning round is
+// selected. Any value other than "batch" (including empty and "legacy")
+// keeps the historical greedy planner.
+func (m *Manager) batchPlanner() bool { return m.Cfg.Planner == "batch" }
 
 func (c Config) priority(k epl.BehaviorKind) int {
 	if c.Priorities != nil {
@@ -372,6 +385,12 @@ func New(k *sim.Kernel, c *cluster.Cluster, rt *actor.Runtime, prof *profile.Pro
 		resEpoch: make(map[cluster.MachineID]uint64),
 		resLease: make(map[cluster.MachineID]int),
 		draining: make(map[cluster.MachineID]bool),
+	}
+	if m.batchPlanner() && rt != nil {
+		// Batched plans hand the runtime several same-period migrations;
+		// the per-NIC scheduler lets transfers to distinct destinations
+		// overlap instead of serializing behind one another.
+		rt.XferPipeline = true
 	}
 	// Copy the provisioning spectrum: specs are mutable (warm-pool
 	// capacity depletes), and the caller's slice must stay pristine.
@@ -742,7 +761,14 @@ func (m *Manager) gemProcess(g *gem, snap *epl.Snapshot, tickIdx int) {
 			}
 		}
 	}
-	actions, allOver, allUnder, outNeed, wantIn := m.planResource(scope, gemView, res)
+	var actions []Action
+	var allOver, allUnder, wantIn bool
+	var outNeed int
+	if m.batchPlanner() {
+		actions, allOver, allUnder, outNeed, wantIn = m.planResourceBatch(scope, gemView, res, gemEvalID, tickIdx)
+	} else {
+		actions, allOver, allUnder, outNeed, wantIn = m.planResource(scope, gemView, res)
+	}
 	g.allOver = allOver
 	g.allUnder = allUnder
 	m.Stats.PlannedActions += len(actions)

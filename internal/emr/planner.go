@@ -129,6 +129,14 @@ func (m *Manager) groupAnchor(members []*epl.ActorInfo, planned map[actor.Ref]Ac
 			return mem.Server, mem.Ref
 		}
 	}
+	if m.batchPlanner() {
+		// Anchor on the group's internal traffic when it has any: the whole
+		// family converges where its messages already land, so the colocate
+		// migration batch moves the least chatty state.
+		if dest, anchor, ok := m.groupAnchorAffinity(members); ok {
+			return dest, anchor
+		}
+	}
 	// Most resident state wins; ties go to the lowest server id.
 	mass := map[cluster.MachineID]int64{}
 	for _, mem := range members {
@@ -287,6 +295,7 @@ func (m *Manager) planReserve(ri epl.ReserveIntent, snap *epl.Snapshot, inScope,
 	exclude := map[cluster.MachineID]bool{ai.Server: true}
 	best := cluster.MachineID(-1)
 	bestLoad := math.Inf(1)
+	bestCnt := 0
 	for _, srv := range snap.Servers {
 		if !srv.Up || exclude[srv.ID] || m.draining[srv.ID] {
 			continue
@@ -301,9 +310,23 @@ func (m *Manager) planReserve(ri epl.ReserveIntent, snap *epl.Snapshot, inScope,
 			continue
 		}
 		load := srv.Res(ri.Res)
-		// Prefer genuinely idle servers; weight by resident actor count so
-		// an empty server wins ties.
-		load += float64(len(m.RT.ActorsOn(srv.ID)))
+		cnt := len(m.RT.ActorsOn(srv.ID))
+		if m.batchPlanner() {
+			// Lexicographic (load, resident count): the quietest server
+			// wins, an emptier one breaks ties, and the id-ordered
+			// iteration breaks full ties to the lowest server id.
+			if load < bestLoad || (load == bestLoad && cnt < bestCnt) {
+				bestLoad, bestCnt = load, cnt
+				best = srv.ID
+			}
+			continue
+		}
+		// Legacy score: utilization percentage plus raw resident count, so
+		// an empty server wins ties. The unit mixing is a known wart — 3
+		// idle residents outweigh 2.9 points of load — but the scoring is
+		// frozen under the byte-identity contract for pinned experiment
+		// ids; the batch planner branch above carries the fix.
+		load += float64(cnt)
 		if load < bestLoad {
 			bestLoad = load
 			best = srv.ID
@@ -384,7 +407,7 @@ func (m *Manager) planBalance(bi epl.BalanceIntent, snap *epl.Snapshot, inScope 
 				// a scale-in signal rather than a balancing problem.
 				minSource = (upper + lower) / 2
 			}
-			actions = m.planDeficitFill(bi, snap, underOrMid, lower, minSource)
+			actions = m.planDeficitFill(bi, snap, underOrMid, lower, upper-lower, minSource)
 		}
 		return actions, allOver, allUnder, false, wantIn
 	}
@@ -428,7 +451,10 @@ func (m *Manager) planBalance(bi epl.BalanceIntent, snap *epl.Snapshot, inScope 
 			load -= use
 			projected[trg] += m.loadOn(ai, bi.Res, trg, snap)
 		}
-		if load > upper && len(cands) == 0 {
+		if load > upper {
+			// Still over the bound after shedding everything movable (or
+			// having nothing to shed): unresolved overload is scale-out
+			// pressure even when every candidate found a home.
 			wantOut = true
 		}
 	}
@@ -441,7 +467,21 @@ func (m *Manager) planBalance(bi epl.BalanceIntent, snap *epl.Snapshot, inScope 
 // planDeficitFill raises servers below the rule's lower bound by moving
 // actors from the most loaded servers, while never dragging a source below
 // the destination's projected load (which would just invert the imbalance).
-func (m *Manager) planDeficitFill(bi epl.BalanceIntent, snap *epl.Snapshot, servers []srvLoad, lower, minSource float64) []Action {
+//
+// The starvation probe (how far below lower a target must sit) and the
+// minimum actionable spread are band-relative, capped at the historical
+// constants 5 and 15: a rule with the standard 20-point band (or wider)
+// plans exactly as before, while a tighter band scales both down so its
+// low-water side can still act at all. band is upper-lower with the rule's
+// bounds already defaulted; a degenerate band keeps the legacy constants.
+func (m *Manager) planDeficitFill(bi epl.BalanceIntent, snap *epl.Snapshot, servers []srvLoad, lower, band, minSource float64) []Action {
+	probe, minSpread := 5.0, 15.0
+	if band > 0 && band/4 < probe {
+		probe = band / 4
+	}
+	if band > 0 && 0.75*band < minSpread {
+		minSpread = 0.75 * band
+	}
 	proj := map[cluster.MachineID]float64{}
 	for _, s := range servers {
 		proj[s.id] = s.load
@@ -451,7 +491,7 @@ func (m *Manager) planDeficitFill(bi epl.BalanceIntent, snap *epl.Snapshot, serv
 	for guard := 0; guard < 64; guard++ {
 		// Most deficient target and most loaded source.
 		var trg, src cluster.MachineID = -1, -1
-		minL, maxL := lower-5, -1.0
+		minL, maxL := lower-probe, -1.0
 		for _, s := range servers {
 			l := proj[s.id]
 			if l < minL {
@@ -463,7 +503,7 @@ func (m *Manager) planDeficitFill(bi epl.BalanceIntent, snap *epl.Snapshot, serv
 		}
 		// Act only on meaningfully starved targets and material spreads;
 		// a tighter trigger here would thrash actors around the band edge.
-		if trg < 0 || src < 0 || src == trg || maxL-minL <= 15 || maxL < minSource {
+		if trg < 0 || src < 0 || src == trg || maxL-minL <= minSpread || maxL < minSource {
 			break
 		}
 		cands := m.balanceCandidates(src, bi, snap)

@@ -1,0 +1,222 @@
+package emr
+
+import (
+	"testing"
+
+	"plasma/internal/actor"
+	"plasma/internal/cluster"
+	"plasma/internal/epl"
+)
+
+// Regression tests for the planner band-math fixes, plus coverage for the
+// colocation group anchoring rules.
+
+// A balance rule with a tight band ([60,70]: band width 10) must still be
+// able to low-water redistribute: server 0 sits at 66 (above the band
+// midpoint), server 1 at 54 (below lower), and moving the 6-point actor
+// equalizes the pair. The legacy thresholds were absolute (probe lower-5,
+// spread > 15), so any band narrower than ~15 points could never fill its
+// deficit.
+func TestDeficitFillActsOnTightBand(t *testing.T) {
+	pe := newPlanEnv(t, 2)
+	actors := []*epl.ActorInfo{
+		mkActor(pe, "W", 0, 6), mkActor(pe, "W", 0, 3),
+	}
+	snap := buildSnap(pe, []float64{66, 54}, actors)
+	bi := epl.BalanceIntent{Types: []string{"W"}, Res: epl.CPU, Upper: 70, Lower: 60}
+	acts, _, _, _, _ := pe.m.planBalance(bi, snap, map[cluster.MachineID]bool{0: true, 1: true})
+	if len(acts) == 0 {
+		t.Fatal("tight-band rule never low-water redistributed")
+	}
+	for _, a := range acts {
+		if a.Src != 0 || a.Trg != 1 {
+			t.Fatalf("action %+v, want move from loaded server 0 to starved server 1", a)
+		}
+	}
+}
+
+// The band-relative thresholds must reduce to the legacy constants (probe 5
+// below lower, spread > 15) on the standard 20-point band, so every shipped
+// policy plans identically: a [60,80] pair at spread 12 stays quiet.
+func TestDeficitFillWideBandKeepsLegacyThresholds(t *testing.T) {
+	pe := newPlanEnv(t, 2)
+	actors := []*epl.ActorInfo{
+		mkActor(pe, "W", 0, 6), mkActor(pe, "W", 0, 3),
+	}
+	snap := buildSnap(pe, []float64{71, 59}, actors)
+	bi := epl.BalanceIntent{Types: []string{"W"}, Res: epl.CPU, Upper: 80, Lower: 60}
+	acts, _, _, _, _ := pe.m.planBalance(bi, snap, map[cluster.MachineID]bool{0: true, 1: true})
+	if len(acts) != 0 {
+		t.Fatalf("20-point band acted on a 12-point spread: %+v", acts)
+	}
+}
+
+// A source that sheds every movable candidate and still sits above the upper
+// bound is unresolved overload: it must report scale-out pressure. The
+// legacy check only fired when the candidate list was empty to begin with.
+func TestPlanBalanceWantOutAfterSheddingAllCandidates(t *testing.T) {
+	pe := newPlanEnv(t, 2)
+	actors := []*epl.ActorInfo{mkActor(pe, "W", 0, 5)}
+	snap := buildSnap(pe, []float64{95, 50}, actors)
+	bi := epl.BalanceIntent{Types: []string{"W"}, Res: epl.CPU, Upper: 80, Lower: 60}
+	acts, _, _, wantOut, _ := pe.m.planBalance(bi, snap, map[cluster.MachineID]bool{0: true, 1: true})
+	if len(acts) != 1 {
+		t.Fatalf("actions = %+v, want the single candidate shed", acts)
+	}
+	if !wantOut {
+		t.Fatal("source shed everything, remains at 90 > 80, yet reported no scale-out pressure")
+	}
+}
+
+// A source brought back inside the band by its sheds is resolved: no
+// scale-out pressure.
+func TestPlanBalanceNoWantOutWhenShedsResolve(t *testing.T) {
+	pe := newPlanEnv(t, 2)
+	actors := []*epl.ActorInfo{mkActor(pe, "W", 0, 20)}
+	snap := buildSnap(pe, []float64{95, 30}, actors)
+	bi := epl.BalanceIntent{Types: []string{"W"}, Res: epl.CPU, Upper: 80, Lower: 60}
+	acts, _, _, wantOut, _ := pe.m.planBalance(bi, snap, map[cluster.MachineID]bool{0: true, 1: true})
+	if len(acts) != 1 {
+		t.Fatalf("actions = %+v, want one shed", acts)
+	}
+	if wantOut {
+		t.Fatal("source re-entered the band yet reported scale-out pressure")
+	}
+}
+
+// Under the batch planner, planReserve's target choice is lexicographic
+// (load, resident count): a truly idle server with a few cold residents
+// beats a resident-free server carrying real load. The legacy score sums
+// the utilization percentage with the raw actor count, so 3 idle actors
+// outweigh 2.9 points of load.
+func TestPlanReservePrefersLeastLoadedOverFewestResidents(t *testing.T) {
+	pe := newPlanEnv(t, 3)
+	pe.m.Cfg.Planner = "batch"
+	vip := mkActor(pe, "V", 0, 30)
+	// Server 1: zero load, three idle residents. Server 2: 2.9% load, empty.
+	idle := []*epl.ActorInfo{
+		mkActor(pe, "I", 1, 0), mkActor(pe, "I", 1, 0), mkActor(pe, "I", 1, 0),
+	}
+	snap := buildSnap(pe, []float64{90, 0, 2.9}, append(idle, vip))
+	ri := epl.ReserveIntent{Actor: vip.Ref, Res: epl.CPU}
+	act, starved := pe.m.planReserve(ri, snap, map[cluster.MachineID]bool{0: true, 1: true, 2: true}, map[cluster.MachineID]bool{})
+	if act == nil || starved {
+		t.Fatalf("act=%v starved=%v, want action/false", act, starved)
+	}
+	if act.Trg != 1 {
+		t.Fatalf("reserved server %d, want the zero-load server 1", act.Trg)
+	}
+}
+
+// Audit pin: the legacy planner keeps the historical sum score (load +
+// resident count) verbatim — pinned experiment ids depend on its choices
+// being byte-identical at fixed seed, unit mixing and all. The fixed
+// scoring lives behind Config.Planner = "batch" (test above).
+func TestPlanReserveLegacyScoreFrozen(t *testing.T) {
+	pe := newPlanEnv(t, 3)
+	vip := mkActor(pe, "V", 0, 30)
+	idle := []*epl.ActorInfo{
+		mkActor(pe, "I", 1, 0), mkActor(pe, "I", 1, 0), mkActor(pe, "I", 1, 0),
+	}
+	snap := buildSnap(pe, []float64{90, 0, 2.9}, append(idle, vip))
+	ri := epl.ReserveIntent{Actor: vip.Ref, Res: epl.CPU}
+	act, _ := pe.m.planReserve(ri, snap, map[cluster.MachineID]bool{0: true, 1: true, 2: true}, map[cluster.MachineID]bool{})
+	if act == nil || act.Trg != 2 {
+		t.Fatalf("act=%+v, want legacy sum score to pick server 2 (2.9 < 0+3)", act)
+	}
+}
+
+// On equal load the resident count breaks the tie, and on a full tie the
+// lowest server id wins (snapshot servers iterate in id order).
+func TestPlanReserveCountThenIDTiebreak(t *testing.T) {
+	pe := newPlanEnv(t, 4)
+	pe.m.Cfg.Planner = "batch"
+	vip := mkActor(pe, "V", 0, 30)
+	resident := mkActor(pe, "I", 1, 0)
+	snap := buildSnap(pe, []float64{90, 0, 0, 0}, []*epl.ActorInfo{vip, resident})
+	ri := epl.ReserveIntent{Actor: vip.Ref, Res: epl.CPU}
+	act, _ := pe.m.planReserve(ri, snap, map[cluster.MachineID]bool{0: true, 1: true, 2: true, 3: true}, map[cluster.MachineID]bool{})
+	if act == nil || act.Trg != 2 {
+		t.Fatalf("act=%+v, want server 2 (same load as 3, fewer residents than 1, lowest id)", act)
+	}
+}
+
+// groupAnchor mass fallback: equal resident state on two servers anchors at
+// the lowest server id.
+func TestGroupAnchorMassTieGoesToLowestServerID(t *testing.T) {
+	pe := newPlanEnv(t, 3)
+	a := mkActor(pe, "A", 2, 10)
+	a.MemBytes = 1 << 20
+	b := mkActor(pe, "B", 1, 10)
+	b.MemBytes = 1 << 20
+	dest, anchor := pe.m.groupAnchor([]*epl.ActorInfo{a, b}, map[actor.Ref]Action{})
+	if dest != 1 || anchor != b.Ref {
+		t.Fatalf("dest=%d anchor=%v, want tie broken to lowest server id 1", dest, anchor)
+	}
+}
+
+// A planned (committed) action on any member outranks a pinned member when
+// choosing the group's home.
+func TestGroupAnchorPlannedActionBeatsPinnedMember(t *testing.T) {
+	pe := newPlanEnv(t, 3)
+	a := mkActor(pe, "A", 0, 10)
+	pinned := mkActor(pe, "B", 1, 10)
+	pinned.Pinned = true
+	planned := map[actor.Ref]Action{
+		a.Ref: {Actor: a.Ref, Src: 0, Trg: 2, Pri: 45, Kind: epl.KindReserve},
+	}
+	dest, anchor := pe.m.groupAnchor([]*epl.ActorInfo{a, pinned}, planned)
+	if dest != 2 || anchor != a.Ref {
+		t.Fatalf("dest=%d anchor=%v, want the reserve destination 2", dest, anchor)
+	}
+}
+
+// A member with its own committed higher-priority action is never dragged
+// by the group: the rest follow the anchor, the committed member keeps its
+// own destination.
+func TestColocateGroupsCommittedMemberKeepsOwnAction(t *testing.T) {
+	pe := newPlanEnv(t, 3)
+	a := mkActor(pe, "A", 0, 5)
+	b := mkActor(pe, "B", 1, 5)
+	c := mkActor(pe, "C", 1, 5)
+	snap := buildSnap(pe, []float64{10, 10, 10}, []*epl.ActorInfo{a, b, c})
+	planned := map[actor.Ref]Action{
+		b.Ref: {Actor: b.Ref, Src: 1, Trg: 2, Pri: 45, Kind: epl.KindReserve},
+	}
+	pairs := []epl.PairIntent{{A: a.Ref, B: b.Ref}, {A: b.Ref, B: c.Ref}}
+	acts := pe.m.planColocateGroups(snap, pairs, planned)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %+v, want a and c following the anchor", acts)
+	}
+	for _, act := range acts {
+		if act.Actor == b.Ref {
+			t.Fatalf("committed member b re-planned by colocate: %+v", act)
+		}
+		if act.Trg != 2 {
+			t.Fatalf("follower sent to %d, want the anchor destination 2", act.Trg)
+		}
+	}
+}
+
+// Transitive merges are order-independent: the same pair set presented in
+// reversed order yields the identical action list.
+func TestColocateGroupsMergeOrderIndependent(t *testing.T) {
+	pe := newPlanEnv(t, 4)
+	a := mkActor(pe, "A", 0, 5)
+	b := mkActor(pe, "B", 1, 5)
+	c := mkActor(pe, "C", 2, 5)
+	d := mkActor(pe, "D", 3, 5)
+	snap := buildSnap(pe, []float64{10, 10, 10, 10}, []*epl.ActorInfo{a, b, c, d})
+	fwd := []epl.PairIntent{{A: a.Ref, B: b.Ref}, {A: b.Ref, B: c.Ref}, {A: c.Ref, B: d.Ref}}
+	rev := []epl.PairIntent{{A: c.Ref, B: d.Ref}, {A: b.Ref, B: c.Ref}, {A: a.Ref, B: b.Ref}}
+	got1 := pe.m.planColocateGroups(snap, fwd, map[actor.Ref]Action{})
+	got2 := pe.m.planColocateGroups(snap, rev, map[actor.Ref]Action{})
+	if len(got1) != len(got2) {
+		t.Fatalf("fwd=%+v rev=%+v", got1, got2)
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("merge order changed the plan: fwd[%d]=%+v rev[%d]=%+v", i, got1[i], i, got2[i])
+		}
+	}
+}

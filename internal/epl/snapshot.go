@@ -44,6 +44,7 @@ type ServerInfo struct {
 	NetPerc float64
 	VCPUs   int
 	MemMB   int64
+	NetMbps float64 // NIC capacity; the per-NIC transfer pipeline's rate
 	Up      bool
 }
 
@@ -59,6 +60,22 @@ func (s *ServerInfo) Res(r Resource) float64 {
 	}
 	return 0
 }
+
+// ResVec returns the server's (cpu, mem, net) utilization vector, the unit
+// the batch planner's multi-resource packing round works in.
+func (s *ServerInfo) ResVec() [3]float64 {
+	return [3]float64{s.CPUPerc, s.MemPerc, s.NetPerc}
+}
+
+// ResVec returns the actor's (cpu, mem, net) utilization vector: its
+// projected contribution to a server already at the actor's current
+// capacity scale.
+func (a *ActorInfo) ResVec() [3]float64 {
+	return [3]float64{a.CPUPerc, a.MemPerc, a.NetPerc}
+}
+
+// Resources enumerates the planner's resource axes in ResVec order.
+var Resources = [3]Resource{CPU, Mem, Net}
 
 // ResOf reads the actor's named resource utilization percent.
 func (a *ActorInfo) ResOf(r Resource) float64 {

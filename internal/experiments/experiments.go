@@ -267,6 +267,12 @@ var Registry = map[string]func(Config) *Result{
 	"burst_region":  BurstRegion,
 	"burst_chaos":   BurstChaos,
 
+	// Batched-planner family: the batch multi-resource planner raced
+	// against the legacy greedy round on the paper's own workloads, all
+	// else pinned (see DESIGN.md §11 and EXPERIMENTS.md).
+	"plan_pagerank": PlanPagerank,
+	"plan_halo":     PlanHalo,
+
 	// Windowed streaming family: skew-shift recovery race against the
 	// Elasticutor-style executor-level key repartitioner, hot-set drift,
 	// window spikes, and a shift composed with a GEM crash (see

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plasma/internal/actor"
+	"plasma/internal/apps/halo"
+	"plasma/internal/apps/pagerank"
+	"plasma/internal/apps/workload"
+	"plasma/internal/cluster"
+	"plasma/internal/emr"
+	"plasma/internal/epl"
+	"plasma/internal/graph"
+	"plasma/internal/metrics"
+	"plasma/internal/profile"
+	"plasma/internal/sim"
+)
+
+// The plan_* family races the batched multi-resource planner (Config.Planner
+// = "batch", DESIGN.md §11) against the legacy greedy round on the paper's
+// workloads, everything else pinned: same seed, same placement, same policy,
+// same period. Each scenario exercises a specific legacy blind spot — single-
+// axis rules fighting each other, and load-only targeting that ignores where
+// an actor's traffic lands.
+
+// planPagerankPolicy adds a memory band to the paper's CPU band: with
+// vertex state sized realistically, the two rules constrain the same
+// workers on different axes.
+const planPagerankPolicy = `
+server.cpu.perc > 80 or server.cpu.perc < 60 =>
+    balance({Worker}, cpu);
+server.mem.perc > 80 or server.mem.perc < 60 =>
+    balance({Worker}, mem);
+`
+
+// PlanPagerank races the planners on a memory-heavy Fig. 6a variant: 32
+// PageRank workers with large vertex state, randomly placed on 8 m5.large
+// servers, governed by a CPU band and a memory band. The legacy round plans
+// each rule on its own axis against the same static snapshot, so a CPU move
+// can overload the target's memory (and vice versa) and the rules undo each
+// other across periods — every bounce costs a multi-second state serialize.
+// The batch round packs both intents against one shared (cpu, mem, net)
+// projection, so a target must fit on every axis before a move is planned.
+func PlanPagerank(cfg Config) *Result {
+	r := newResult("plan_pagerank", "PageRank convergence under cpu+mem bands: batch planner vs legacy greedy")
+	r.Header = []string{"Planner", "Converged iteration time", "Migrations"}
+	su := pagerankSetup(cfg)
+	const statePerVertex = 4 << 20 // ~1.5 GB per worker: memory is a real axis
+
+	run := func(planner string) (sim.Duration, int) {
+		seed := cfg.seed()
+		placement := randomPlacement(seed*7+1, su.workers, 8)
+		k := cfg.kernelSeeded(seed)
+		c := cluster.New(k, 8, cluster.M5Large)
+		rt := actor.NewRuntime(k, c)
+		prof := profile.New(k, c, rt)
+		g := graph.GeneratePowerLaw(su.vertices, su.avgDeg, 2.1, seed)
+		parts := graph.PartitionMultilevel(g, su.workers, seed)
+		app := pagerank.Build(k, rt, pagerank.Config{
+			Graph: g, Parts: parts, K: su.workers,
+			PerEdgeCost: su.perEdge, SyncOverhead: su.syncOver, Iterations: su.iterations,
+			HeteroSpread: 0.5, StatePerVertex: statePerVertex,
+		}, placement)
+		env := &prEnv{k: k, c: c, rt: rt, prof: prof, app: app}
+		mgr := emr.New(k, c, rt, prof, epl.MustParse(planPagerankPolicy),
+			emr.Config{Period: su.period, Planner: planner})
+		cfg.wireTrace(mgr)
+		mgr.Start()
+		app.Start(k)
+		runToCompletion(env, 30*sim.Minute)
+		return app.ConvergedTime(), mgr.Stats.ExecutedMigrations
+	}
+
+	times := map[string]float64{}
+	for _, planner := range []string{"", "batch"} {
+		name := "legacy"
+		if planner != "" {
+			name = planner
+		}
+		conv, migs := run(planner)
+		times[name] = float64(conv)
+		r.addRow(name, conv.String(), fmt.Sprintf("%d", migs))
+		r.Summary["converged_ms_"+name] = float64(conv) / float64(sim.Millisecond)
+		r.Summary["migrations_"+name] = float64(migs)
+	}
+	if times["legacy"] > 0 {
+		imp := (times["legacy"] - times["batch"]) / times["legacy"] * 100
+		r.Summary["batch_improvement_pct"] = imp
+		r.notef("legacy's cpu and mem rules plan blind to each other's axis; batch packs one shared projection — measured %.1f%% faster convergence", imp)
+	}
+	return r
+}
+
+// PlanHalo races the planners on a skewed Fig. 11c variant: routers crowded
+// on an eighth of the fleet with CPU-hot decryption, three quarters of the
+// clients joining the four hottest sessions, and each client sticky to one
+// router (the usual sticky load-balancer front end), so every router
+// forwards mostly to one hot session. When the router-balance rule spreads
+// routers out, the legacy round targets the quietest server regardless of
+// traffic; the batch round's affinity scoring places each router where the
+// sessions it forwards to actually live, cutting a remote hop off most
+// heartbeats.
+// planHaloPolicy tightens fig11's router band ([80,60] -> [40,15]) so the
+// crowded routers actually spread across the fleet instead of stopping at
+// the first server that dips under 80%, and keeps the paper's interaction
+// rule. More movers means the target choice — affinity vs least-loaded —
+// decides more of the fleet's layout.
+const planHaloPolicy = `
+server.cpu.perc > 40 or server.cpu.perc < 15 =>
+    balance({Router}, cpu);
+` + halo.InterPolicySrc
+
+func PlanHalo(cfg Config) *Result {
+	r := newResult("plan_halo", "Halo latency with skewed sessions: batch planner vs legacy greedy")
+	r.Header = []string{"Planner", "Mean latency", "Final latency", "Settle time"}
+
+	servers, routers, sessions, clients := 64, 32, 64, 128
+	period := 80 * sim.Second
+	total := 800 * sim.Second
+	hbEvery := 500 * sim.Millisecond
+	hotSessions := 4
+	if !cfg.Full {
+		servers, routers, sessions, clients = 16, 8, 16, 32
+		period = 20 * sim.Second
+		total = 200 * sim.Second
+		hbEvery = 200 * sim.Millisecond
+	}
+
+	run := func(planner string) *workload.Recorder {
+		k := cfg.kernel()
+		c := cluster.New(k, servers+2, cluster.M1Small)
+		// Accentuate the remote hop further than fig11 (20 ms): the skewed
+		// scenario is about where routers sit relative to their traffic, so
+		// the cross-server hop must dominate per-message compute.
+		c.BaseLatency = 4 * haloBaseLatency
+		rt := actor.NewRuntime(k, c)
+		prof := profile.New(k, c, rt)
+		// All routers crowd a sixteenth of the fleet so the balance rule has
+		// real work even at the gentler heartbeat rate.
+		routerSrvs := make([]cluster.MachineID, servers/16)
+		for i := range routerSrvs {
+			routerSrvs[i] = cluster.MachineID(i)
+		}
+		sessionSrvs := make([]cluster.MachineID, servers)
+		for i := range sessionSrvs {
+			sessionSrvs[i] = cluster.MachineID(i)
+		}
+		app := halo.Build(k, rt, routerSrvs, sessionSrvs, routers, sessions)
+		app.Decrypt = true
+
+		mgr := emr.New(k, c, rt, prof, epl.MustParse(planHaloPolicy),
+			emr.Config{Period: period, Planner: planner})
+		cfg.wireTrace(mgr)
+		mgr.Start()
+
+		rec := workload.NewRecorder(20 * sim.Second)
+		for i := 0; i < clients; i++ {
+			i := i
+			// Popularity skew: three quarters of the clients pile into the
+			// hot sessions; the rest spread round-robin.
+			sess := i % sessions
+			if i%4 != 0 {
+				sess = i % hotSessions
+			}
+			joinAt := sim.Time(i) * sim.Time(total) / sim.Time(2*clients)
+			k.At(joinAt, func() {
+				p := app.Join(sess)
+				cl := actor.NewClient(rt, cluster.MachineID(servers+i%2))
+				router := app.Routers[i%len(app.Routers)]
+				k.Every(hbEvery, func() bool {
+					cl.Request(router, "heartbeat", p, 256, func(lat sim.Duration, _ interface{}) {
+						rec.Record(k.Now(), lat)
+					})
+					return k.Now() < sim.Time(total)
+				})
+			})
+		}
+		k.Run(sim.Time(total))
+		return rec
+	}
+
+	stats := map[string][2]float64{}
+	for _, planner := range []string{"", "batch"} {
+		name := "legacy"
+		if planner != "" {
+			name = planner
+		}
+		rec := run(planner)
+		series := rec.Series()
+		r.Series[name] = series
+		mean := rec.Hist.Mean()
+		final := series.TailMeanY(0.25)
+		settle := settleTime(series, final)
+		stats[name] = [2]float64{mean, final}
+		r.addRow(name, ms(mean), ms(final), fmt.Sprintf("%.0f s", settle))
+		r.Summary["mean_ms_"+name] = mean
+		r.Summary["final_ms_"+name] = final
+		r.Summary["settle_s_"+name] = settle
+	}
+	if l := stats["legacy"]; l[0] > 0 {
+		r.Summary["batch_mean_improvement_pct"] = (l[0] - stats["batch"][0]) / l[0] * 100
+		r.Summary["batch_final_improvement_pct"] = (l[1] - stats["batch"][1]) / l[1] * 100
+	}
+	r.notef("affinity-scored targets put each router beside the hot sessions it forwards to; settle time = first bucket after which latency stays within 20%% of final")
+	return r
+}
+
+// settleTime finds the earliest bucket time (seconds) after which every
+// bucket mean stays within 20% of the final level.
+func settleTime(s *metrics.Series, final float64) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	settleAt := s.X[0]
+	settled := true
+	for i := 0; i < s.Len(); i++ {
+		d := s.Y[i] - final
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.2*final {
+			settled = false
+		} else if !settled {
+			settleAt = s.X[i]
+			settled = true
+		}
+	}
+	if !settled {
+		return s.X[s.Len()-1]
+	}
+	return settleAt
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "sort"
+
+// Affinity is an undirected weighted communication graph over opaque int64
+// node ids (actor ids in practice). The batch planner builds one per
+// planning round from the profiled message-rate snapshot and uses it to
+// keep chatty actors together: the affinity of an actor to a server is the
+// summed edge weight toward actors resident there.
+//
+// Accumulation is map-backed for O(1) adds; Peers seals each adjacency
+// list into id-sorted order on first read, so iteration is deterministic
+// regardless of insertion order.
+type Affinity struct {
+	adj   map[int64]map[int64]float64
+	peers map[int64][]AffEdge // sealed, id-sorted adjacency
+}
+
+// AffEdge is one sealed adjacency entry.
+type AffEdge struct {
+	Peer   int64
+	Weight float64
+}
+
+// NewAffinity returns an empty affinity graph.
+func NewAffinity() *Affinity {
+	return &Affinity{adj: map[int64]map[int64]float64{}}
+}
+
+// Add accumulates weight onto the undirected edge (a, b). Self-edges and
+// non-positive weights are ignored.
+func (af *Affinity) Add(a, b int64, w float64) {
+	if a == b || w <= 0 {
+		return
+	}
+	af.peers = nil // invalidate sealed lists
+	for _, pair := range [2][2]int64{{a, b}, {b, a}} {
+		m := af.adj[pair[0]]
+		if m == nil {
+			m = map[int64]float64{}
+			af.adj[pair[0]] = m
+		}
+		m[pair[1]] += w
+	}
+}
+
+// Weight reads the accumulated weight of edge (a, b); 0 when absent.
+func (af *Affinity) Weight(a, b int64) float64 { return af.adj[a][b] }
+
+// Peers returns a's adjacency in ascending peer-id order.
+func (af *Affinity) Peers(a int64) []AffEdge {
+	if af.peers == nil {
+		af.peers = make(map[int64][]AffEdge, len(af.adj))
+	}
+	if list, ok := af.peers[a]; ok {
+		return list
+	}
+	m := af.adj[a]
+	if len(m) == 0 {
+		af.peers[a] = nil
+		return nil
+	}
+	list := make([]AffEdge, 0, len(m))
+	for p, w := range m {
+		list = append(list, AffEdge{Peer: p, Weight: w})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Peer < list[j].Peer })
+	af.peers[a] = list
+	return list
+}
+
+// Nodes reports how many nodes have at least one edge.
+func (af *Affinity) Nodes() int { return len(af.adj) }
+
+// ScoreBy sums a's edge weight toward the peers for which at returns the
+// given key — with at mapping actor to server, this is the actor's
+// communication affinity to that server.
+func (af *Affinity) ScoreBy(a int64, key int64, at func(int64) (int64, bool)) float64 {
+	var s float64
+	for p, w := range af.adj[a] {
+		if k, ok := at(p); ok && k == key {
+			s += w
+		}
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "testing"
+
+func TestAffinityAccumulatesUndirected(t *testing.T) {
+	af := NewAffinity()
+	af.Add(1, 2, 10)
+	af.Add(2, 1, 5)
+	af.Add(1, 1, 99) // self-edge ignored
+	af.Add(1, 3, -1) // non-positive ignored
+	if w := af.Weight(1, 2); w != 15 {
+		t.Fatalf("weight(1,2) = %v, want 15", w)
+	}
+	if w := af.Weight(2, 1); w != 15 {
+		t.Fatalf("weight(2,1) = %v, want 15", w)
+	}
+	if w := af.Weight(1, 3); w != 0 {
+		t.Fatalf("weight(1,3) = %v, want 0", w)
+	}
+}
+
+func TestAffinityPeersSortedAndResealed(t *testing.T) {
+	af := NewAffinity()
+	af.Add(1, 9, 1)
+	af.Add(1, 3, 2)
+	af.Add(1, 5, 3)
+	peers := af.Peers(1)
+	if len(peers) != 3 || peers[0].Peer != 3 || peers[1].Peer != 5 || peers[2].Peer != 9 {
+		t.Fatalf("peers = %+v, want id-sorted {3,5,9}", peers)
+	}
+	// Adding after a read invalidates the sealed lists.
+	af.Add(1, 2, 1)
+	peers = af.Peers(1)
+	if len(peers) != 4 || peers[0].Peer != 2 {
+		t.Fatalf("resealed peers = %+v", peers)
+	}
+	if af.Nodes() != 5 {
+		t.Fatalf("nodes = %d, want 5", af.Nodes())
+	}
+}
+
+func TestAffinityScoreBy(t *testing.T) {
+	af := NewAffinity()
+	af.Add(1, 2, 10)
+	af.Add(1, 3, 7)
+	af.Add(1, 4, 1)
+	home := map[int64]int64{2: 100, 3: 100, 4: 200}
+	at := func(id int64) (int64, bool) { s, ok := home[id]; return s, ok }
+	if s := af.ScoreBy(1, 100, at); s != 17 {
+		t.Fatalf("score toward 100 = %v, want 17", s)
+	}
+	if s := af.ScoreBy(1, 200, at); s != 1 {
+		t.Fatalf("score toward 200 = %v, want 1", s)
+	}
+}

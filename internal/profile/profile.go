@@ -286,6 +286,7 @@ func (p *Profiler) Snapshot(scope []cluster.MachineID) *epl.Snapshot {
 			NetPerc: m.NetPercent(),
 			VCPUs:   m.Type.VCPUs,
 			MemMB:   m.Type.MemMB,
+			NetMbps: m.Type.NetMbps,
 			Up:      true,
 		})
 	}

@@ -105,6 +105,16 @@ const (
 	// Value=state bytes moved, Detail=key count) — the baseline's analogue
 	// of a transfer/commit pair.
 	KindHandoff
+	// KindPlanBatch summarizes one batched multi-resource planning round
+	// (Config.Planner = "batch"): Value is the number of planned actions,
+	// Detail carries the over/under server counts and how many moves the
+	// packing round batched per destination.
+	KindPlanBatch
+	// KindXferPipeline is a migration transfer passing through the per-NIC
+	// pipeline: Value is the wire time in µs, Detail the queue wait behind
+	// earlier transfers into the same destination NIC (zero when the
+	// transfer overlapped with traffic to other destinations).
+	KindXferPipeline
 	numKinds
 )
 
@@ -114,6 +124,7 @@ var kindNames = [numKinds]string{
 	"admit", "deny", "transfer", "commit", "rollback", "scale-out",
 	"scale-in", "provision", "machine-up", "decommission", "crash",
 	"repair", "chaos", "prov-fail", "prov-retry", "shed", "handoff",
+	"plan-batch", "xfer-pipeline",
 }
 
 func (k Kind) String() string {
